@@ -1,0 +1,37 @@
+#pragma once
+//! \file bench_common.hpp
+//! Shared plumbing for the experiment binaries: standard CLI options and the
+//! default paper configuration.
+
+#include "core/pipeline.hpp"
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace relperf::bench {
+
+/// Adds the options every experiment binary shares.
+inline void add_common_options(support::CliParser& cli) {
+    cli.add_option("seed", "master seed for measurements", "42");
+    cli.add_option("rep", "clustering repetitions (paper Rep)", "100");
+    cli.add_option("csv", "write raw results to this CSV path", "");
+}
+
+/// Builds the analysis config from parsed common options.
+inline core::AnalysisConfig analysis_config(const support::CliParser& cli,
+                                            std::size_t measurements) {
+    core::AnalysisConfig config;
+    config.measurements_per_alg = measurements;
+    config.clustering.repetitions = static_cast<std::size_t>(cli.value_int("rep"));
+    config.measurement_seed = static_cast<std::uint64_t>(cli.value_int("seed"));
+    config.clustering.seed = config.measurement_seed * 7919 + 17;
+    return config;
+}
+
+/// Prints a section header.
+inline void section(const std::string& title) {
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace relperf::bench

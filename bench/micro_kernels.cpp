@@ -1,0 +1,153 @@
+//! google-benchmark micro-benchmarks of the hot kernels: the dense linear
+//! algebra substrate (GEMM / Gram / Cholesky / RLS solve), the bootstrap
+//! comparator, and the three-way sorter. These quantify the cost of the
+//! methodology itself (the paper's footnote 4 notes the sort is not
+//! performance-optimized — this harness puts numbers on that).
+
+#include "core/bootstrap_comparator.hpp"
+#include "core/threeway_sort.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/rls.hpp"
+#include "linalg/syrk.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/rng.hpp"
+#include "workloads/mathtask.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using relperf::linalg::Matrix;
+using relperf::stats::Rng;
+
+void BM_GemmBlocked(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    const Matrix a = Matrix::random_normal(n, n, rng);
+    const Matrix b = Matrix::random_normal(n, n, rng);
+    Matrix c(n, n);
+    for (auto _ : state) {
+        relperf::linalg::gemm(1.0, a, b, 0.0, c);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        relperf::linalg::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+            1e9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmReference(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    const Matrix a = Matrix::random_normal(n, n, rng);
+    const Matrix b = Matrix::random_normal(n, n, rng);
+    Matrix c(n, n);
+    for (auto _ : state) {
+        relperf::linalg::gemm_reference(1.0, a, b, 0.0, c);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+}
+BENCHMARK(BM_GemmReference)->Arg(64)->Arg(128);
+
+void BM_Gram(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    const Matrix a = Matrix::random_normal(n, n, rng);
+    Matrix g;
+    for (auto _ : state) {
+        relperf::linalg::gram(a, g);
+        benchmark::DoNotOptimize(g.data().data());
+    }
+}
+BENCHMARK(BM_Gram)->Arg(64)->Arg(256);
+
+void BM_Cholesky(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(4);
+    const Matrix a = Matrix::random_normal(n, n, rng);
+    Matrix spd = relperf::linalg::gram(a);
+    spd.add_scaled_identity(static_cast<double>(n));
+    for (auto _ : state) {
+        Matrix l = spd;
+        relperf::linalg::cholesky_factor(l);
+        benchmark::DoNotOptimize(l.data().data());
+    }
+}
+BENCHMARK(BM_Cholesky)->Arg(64)->Arg(256);
+
+void BM_RlsSolve(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    const Matrix a = Matrix::random_uniform(n, n, rng);
+    const Matrix b = Matrix::random_uniform(n, n, rng);
+    for (auto _ : state) {
+        const Matrix z = relperf::linalg::rls_solve(a, b, 0.5);
+        benchmark::DoNotOptimize(z.data().data());
+    }
+    state.counters["flops"] = relperf::linalg::rls_flops(n);
+}
+BENCHMARK(BM_RlsSolve)->Arg(50)->Arg(75)->Arg(300);
+
+void BM_MathTaskProcedure6(benchmark::State& state) {
+    const auto size = static_cast<std::size_t>(state.range(0));
+    Rng rng(6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            relperf::workloads::run_rls_task(size, 1, 0.1, rng));
+    }
+}
+BENCHMARK(BM_MathTaskProcedure6)->Arg(50)->Arg(75);
+
+void BM_BootstrapResample(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng gen(7);
+    std::vector<double> sample;
+    for (std::size_t i = 0; i < n; ++i) sample.push_back(gen.lognormal(0.0, 0.1));
+    Rng rng(8);
+    std::vector<double> out;
+    for (auto _ : state) {
+        relperf::stats::resample(sample, n, rng, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_BootstrapResample)->Arg(30)->Arg(500);
+
+void BM_BootstrapComparison(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng gen(9);
+    std::vector<double> a;
+    std::vector<double> b;
+    for (std::size_t i = 0; i < n; ++i) {
+        a.push_back(gen.lognormal(0.0, 0.08));
+        b.push_back(1.05 * gen.lognormal(0.0, 0.08));
+    }
+    const relperf::core::BootstrapComparator cmp;
+    Rng rng(10);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cmp.compare(a, b, rng));
+    }
+}
+BENCHMARK(BM_BootstrapComparison)->Arg(30)->Arg(500);
+
+void BM_ThreeWaySortRandomComparator(benchmark::State& state) {
+    const auto p = static_cast<std::size_t>(state.range(0));
+    Rng rng(11);
+    const relperf::core::ThreeWaySorter sorter(
+        [&rng](std::size_t, std::size_t) {
+            const double u = rng.uniform();
+            if (u < 0.2) return relperf::core::Ordering::Equivalent;
+            return u < 0.6 ? relperf::core::Ordering::Better
+                           : relperf::core::Ordering::Worse;
+        });
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sorter.sort(p));
+    }
+    // Comparisons per sort: p(p-1)/2.
+    state.counters["comparisons"] = static_cast<double>(p * (p - 1) / 2);
+}
+BENCHMARK(BM_ThreeWaySortRandomComparator)->Arg(8)->Arg(32)->Arg(128);
+
+} // namespace

@@ -1,0 +1,70 @@
+//! Ablation A4: the same scientific code clustered on different simulated
+//! edge platforms (paper Sec. I: the clusters "are specific to a given
+//! computing architecture"). Uses the analytic cost model with the built-in
+//! presets: Xeon+P100, Raspberry-Pi+LAN-server, smartphone+mobile-GPU and a
+//! symmetric CPU-only pair.
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "sim/analytic.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "workloads/chain.hpp"
+
+#include <cstdio>
+
+using namespace relperf;
+
+int main(int argc, char** argv) {
+    support::CliParser cli("platform_sweep — clusters across edge platforms");
+    bench::add_common_options(cli);
+    cli.add_option("n", "measurements per algorithm", "30");
+    cli.add_option("sizes", "comma-separated task sizes", "64,256");
+    cli.add_option("iters", "loop iterations per task", "5");
+    if (!cli.parse(argc, argv)) return 0;
+
+    std::vector<std::size_t> sizes;
+    for (const std::string& field : str::split(cli.value("sizes"), ',')) {
+        sizes.push_back(static_cast<std::size_t>(std::stoul(field)));
+    }
+    const workloads::TaskChain chain = workloads::make_rls_chain(
+        sizes, static_cast<std::size_t>(cli.value_int("iters")));
+    const auto assignments = workloads::enumerate_assignments(chain.size());
+
+    const std::vector<sim::Platform> platforms = {
+        sim::paper_cpu_gpu_platform(), sim::rpi_server_platform(),
+        sim::smartphone_gpu_platform(), sim::cpu_only_platform()};
+
+    std::vector<std::string> header = {"Algorithm"};
+    std::vector<core::AnalysisResult> results;
+    for (const sim::Platform& platform : platforms) {
+        const sim::AnalyticCostModel model(platform);
+        const sim::SimulatedExecutor executor(model, sim::NoiseModel{});
+        const core::AnalysisConfig config = bench::analysis_config(
+            cli, static_cast<std::size_t>(cli.value_int("n")));
+        results.push_back(
+            core::analyze_chain(executor, chain, assignments, config));
+        header.push_back(platform.name);
+    }
+
+    bench::section("Final class of every split, per platform (chain sizes " +
+                   cli.value("sizes") + ")");
+    support::AsciiTable table(header);
+    for (std::size_t alg = 0; alg < assignments.size(); ++alg) {
+        std::vector<std::string> row = {assignments[alg].alg_name()};
+        for (const core::AnalysisResult& result : results) {
+            row.push_back(
+                "C" + std::to_string(result.clustering.final_rank(alg)) + " (" +
+                str::human_seconds(result.measurements.summary(alg).mean) + ")");
+        }
+        table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    std::printf(
+        "\nReading: offload economics flip across platforms — the Raspberry Pi\n"
+        "gains from offloading anything sizable despite its slow link, the\n"
+        "smartphone's mobile GPU only pays off for the large task, and the\n"
+        "symmetric CPU pair clusters every split together.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+//! Exponential search spaces: the paper's Sec. V scenario as a runnable
+//! example. A 12-stage multi-scale simulation chain has 2^12 = 4096
+//! mathematically equivalent device splits — far too many to measure. The
+//! model-guided search measures a small subset, fits the execution-less
+//! predictor, and iteratively refines towards the best split; the measured
+//! subset is then clustered with the paper's methodology.
+//!
+//!   $ ./exponential_search
+//!   $ ./exponential_search --stages 10 --budget-rounds 6
+
+#include "core/report.hpp"
+#include "search/model_guided_search.hpp"
+#include "sim/analytic.hpp"
+#include "support/cli.hpp"
+#include "support/str.hpp"
+#include "workloads/chain.hpp"
+
+#include <cstdio>
+
+using namespace relperf;
+
+int main(int argc, char** argv) {
+    support::CliParser cli("exponential_search — 2^k splits, measure only a few");
+    cli.add_option("stages", "number of chain stages (k)", "12");
+    cli.add_option("budget-rounds", "refinement rounds", "4");
+    cli.add_option("seed", "search seed", "21");
+    if (!cli.parse(argc, argv)) return 0;
+
+    // A multi-scale chain: stage sizes cycle through a ramp of scales.
+    const auto k = static_cast<std::size_t>(cli.value_int("stages"));
+    std::vector<std::size_t> sizes;
+    const std::size_t ramp[] = {32, 64, 96, 160, 240, 320};
+    for (std::size_t i = 0; i < k; ++i) sizes.push_back(ramp[i % 6]);
+    const workloads::TaskChain chain =
+        workloads::make_rls_chain(sizes, 4, "multiscale-chain");
+
+    const sim::AnalyticCostModel model(sim::paper_cpu_gpu_platform());
+    const sim::SimulatedExecutor executor(model, sim::NoiseModel{});
+
+    search::SearchConfig config;
+    config.initial_samples = 2 * k;
+    config.refinement_rounds =
+        static_cast<std::size_t>(cli.value_int("budget-rounds"));
+    config.batch_size = k;
+    config.measurements_per_alg = 12;
+    config.seed = static_cast<std::uint64_t>(cli.value_int("seed"));
+
+    const search::ModelGuidedSearch searcher(executor, chain, config);
+    const search::SearchResult result = searcher.run();
+
+    std::printf("space          : 2^%zu = %zu equivalent algorithms\n", k,
+                result.space_size);
+    std::printf("executed       : %zu (%.1f %% of the space)\n",
+                result.measured_count, 100.0 * result.measured_fraction());
+    std::printf("best found     : %s, mean %s\n", result.best.alg_name().c_str(),
+                str::human_seconds(result.best_measured_mean).c_str());
+
+    // Sanity check against the exhaustive noise-free optimum (cheap for the
+    // simulator; impossible on a real testbed — that is the point).
+    double exhaustive_best = 1e300;
+    std::string exhaustive_name;
+    for (const auto& a : workloads::enumerate_assignments(k)) {
+        const double t = executor.expected_seconds(chain, a);
+        if (t < exhaustive_best) {
+            exhaustive_best = t;
+            exhaustive_name = a.alg_name();
+        }
+    }
+    std::printf("exhaustive best: %s, expected mean %s\n", exhaustive_name.c_str(),
+                str::human_seconds(exhaustive_best).c_str());
+    std::printf("regret         : %+.2f %%\n\n",
+                100.0 * (result.best_measured_mean / exhaustive_best - 1.0));
+
+    // The measured subset, clustered with the paper methodology (top classes
+    // only, to keep the output short).
+    std::puts("Top measured performance classes (paper methodology on the subset):");
+    const std::string table =
+        core::render_final_table(result.clustering, result.measurements);
+    // Print only the first ~15 lines (header + best entries).
+    std::size_t lines = 0;
+    for (const char c : table) {
+        std::putchar(c);
+        if (c == '\n' && ++lines >= 15) break;
+    }
+    std::puts("  ...");
+    return 0;
+}

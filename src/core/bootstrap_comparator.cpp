@@ -1,0 +1,65 @@
+#include "core/bootstrap_comparator.hpp"
+
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relperf::core {
+
+void BootstrapComparatorConfig::validate() const {
+    RELPERF_REQUIRE(rounds > 0, "BootstrapComparator: rounds must be positive");
+    RELPERF_REQUIRE(0.0 <= quantile_lo && quantile_lo <= quantile_hi && quantile_hi <= 1.0,
+                    "BootstrapComparator: need 0 <= quantile_lo <= quantile_hi <= 1");
+    RELPERF_REQUIRE(tie_epsilon >= 0.0, "BootstrapComparator: tie_epsilon must be >= 0");
+    RELPERF_REQUIRE(decision_threshold > 0.0 && decision_threshold <= 1.0,
+                    "BootstrapComparator: decision_threshold must be in (0, 1]");
+}
+
+BootstrapComparator::BootstrapComparator(BootstrapComparatorConfig config)
+    : config_(config) {
+    config_.validate();
+}
+
+double BootstrapComparator::score(std::span<const double> a, std::span<const double> b,
+                                  stats::Rng& rng) const {
+    RELPERF_REQUIRE(!a.empty() && !b.empty(), "BootstrapComparator: empty sample");
+
+    std::vector<double> res_a;
+    std::vector<double> res_b;
+    long wins_a = 0;
+    long wins_b = 0;
+    for (std::size_t r = 0; r < config_.rounds; ++r) {
+        stats::resample(a, a.size(), rng, res_a);
+        stats::resample(b, b.size(), rng, res_b);
+        std::sort(res_a.begin(), res_a.end());
+        std::sort(res_b.begin(), res_b.end());
+        const double q = rng.uniform(config_.quantile_lo, config_.quantile_hi);
+        const double qa = stats::quantile_sorted(res_a, q);
+        const double qb = stats::quantile_sorted(res_b, q);
+
+        const double band =
+            config_.tie_epsilon * std::min(std::fabs(qa), std::fabs(qb));
+        if (std::fabs(qa - qb) <= band) continue; // tie
+        if (qa < qb) {
+            ++wins_a; // lower is better
+        } else {
+            ++wins_b;
+        }
+    }
+    return static_cast<double>(wins_a - wins_b) /
+           static_cast<double>(config_.rounds);
+}
+
+Ordering BootstrapComparator::compare(std::span<const double> a,
+                                      std::span<const double> b,
+                                      stats::Rng& rng) const {
+    const double s = score(a, b, rng);
+    if (s > config_.decision_threshold) return Ordering::Better;
+    if (s < -config_.decision_threshold) return Ordering::Worse;
+    return Ordering::Equivalent;
+}
+
+} // namespace relperf::core

@@ -1,0 +1,62 @@
+#pragma once
+//! \file bootstrap_comparator.hpp
+//! The paper's comparison strategy (Sec. III; ref. [15] Sec. IV): quantify
+//! the overlap of two measurement distributions by repeated bootstrap
+//! resampling and classify the pair as better / equivalent / worse.
+//!
+//! Per round: draw with-replacement resamples of both samples, draw a random
+//! quantile q ~ U[quantile_lo, quantile_hi], and compare the two resampled
+//! quantiles under a relative tie band `tie_epsilon`. The aggregated score
+//!
+//!     score = (#a-wins - #b-wins) / rounds  in [-1, 1]
+//!
+//! is thresholded at `decision_threshold`: only a near-unanimous win rate
+//! counts as a significant difference; everything else is "equivalent".
+//! Because the per-round verdicts are stochastic, borderline pairs flip
+//! between outcomes across repetitions — exactly the behaviour the paper
+//! exploits to derive relative scores (Sec. III, "Computing the relative
+//! scores").
+
+#include "core/comparison.hpp"
+
+#include <cstddef>
+
+namespace relperf::core {
+
+/// Tuning knobs of the bootstrap comparator. Defaults reproduce the paper's
+/// qualitative behaviour at N = 30 and N = 500 (see EXPERIMENTS.md).
+struct BootstrapComparatorConfig {
+    std::size_t rounds = 100;        ///< Bootstrap rounds per comparison.
+    double quantile_lo = 0.35;       ///< Lower bound of the random quantile.
+    double quantile_hi = 0.65;       ///< Upper bound of the random quantile.
+    double tie_epsilon = 0.02;       ///< Relative tie band per round.
+    double decision_threshold = 0.9; ///< |score| needed to call a winner.
+
+    /// Throws InvalidArgument when out of range.
+    void validate() const;
+};
+
+class BootstrapComparator final : public Comparator {
+public:
+    explicit BootstrapComparator(BootstrapComparatorConfig config = {});
+
+    [[nodiscard]] Ordering compare(std::span<const double> a,
+                                   std::span<const double> b,
+                                   stats::Rng& rng) const override;
+
+    /// The raw win-rate score in [-1, 1] (positive: a wins). Exposed for
+    /// diagnostics and the ablation benches.
+    [[nodiscard]] double score(std::span<const double> a, std::span<const double> b,
+                               stats::Rng& rng) const;
+
+    [[nodiscard]] std::string name() const override { return "bootstrap"; }
+
+    [[nodiscard]] const BootstrapComparatorConfig& config() const noexcept {
+        return config_;
+    }
+
+private:
+    BootstrapComparatorConfig config_;
+};
+
+} // namespace relperf::core

@@ -1,0 +1,81 @@
+#include "core/classical_comparators.hpp"
+
+#include "stats/descriptive.hpp"
+#include "stats/hypothesis.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relperf::core {
+
+MannWhitneyComparator::MannWhitneyComparator(double alpha, double min_effect)
+    : alpha_(alpha), min_effect_(min_effect) {
+    RELPERF_REQUIRE(alpha > 0.0 && alpha < 1.0,
+                    "MannWhitneyComparator: alpha must be in (0,1)");
+    RELPERF_REQUIRE(min_effect >= 0.0 && min_effect < 1.0,
+                    "MannWhitneyComparator: min_effect must be in [0,1)");
+}
+
+Ordering MannWhitneyComparator::compare(std::span<const double> a,
+                                        std::span<const double> b,
+                                        stats::Rng& rng) const {
+    (void)rng; // deterministic test
+    const stats::TestResult res = stats::mann_whitney_u(a, b);
+    const double delta = stats::cliffs_delta(a, b); // >0: a tends smaller
+    if (res.p_value >= alpha_ || std::fabs(delta) <= min_effect_) {
+        return Ordering::Equivalent;
+    }
+    return delta > 0.0 ? Ordering::Better : Ordering::Worse;
+}
+
+KsComparator::KsComparator(double alpha) : alpha_(alpha) {
+    RELPERF_REQUIRE(alpha > 0.0 && alpha < 1.0, "KsComparator: alpha must be in (0,1)");
+}
+
+Ordering KsComparator::compare(std::span<const double> a, std::span<const double> b,
+                               stats::Rng& rng) const {
+    (void)rng;
+    const stats::TestResult res = stats::kolmogorov_smirnov(a, b);
+    if (res.p_value >= alpha_) return Ordering::Equivalent;
+    const double shift = stats::median(b) - stats::median(a); // >0: a smaller
+    if (shift == 0.0) return Ordering::Equivalent;
+    return shift > 0.0 ? Ordering::Better : Ordering::Worse;
+}
+
+SummaryComparator::SummaryComparator(Statistic stat, double rel_tolerance)
+    : stat_(stat), rel_tolerance_(rel_tolerance) {
+    RELPERF_REQUIRE(rel_tolerance >= 0.0,
+                    "SummaryComparator: tolerance must be >= 0");
+}
+
+Ordering SummaryComparator::compare(std::span<const double> a,
+                                    std::span<const double> b,
+                                    stats::Rng& rng) const {
+    (void)rng;
+    const auto value = [this](std::span<const double> s) {
+        switch (stat_) {
+            case Statistic::Mean: return stats::mean(s);
+            case Statistic::Median: return stats::median(s);
+            case Statistic::Minimum:
+                return *std::min_element(s.begin(), s.end());
+        }
+        return stats::mean(s);
+    };
+    const double va = value(a);
+    const double vb = value(b);
+    const double band = rel_tolerance_ * std::min(std::fabs(va), std::fabs(vb));
+    if (std::fabs(va - vb) <= band) return Ordering::Equivalent;
+    return va < vb ? Ordering::Better : Ordering::Worse;
+}
+
+std::string SummaryComparator::name() const {
+    switch (stat_) {
+        case Statistic::Mean: return "summary-mean";
+        case Statistic::Median: return "summary-median";
+        case Statistic::Minimum: return "summary-min";
+    }
+    return "summary";
+}
+
+} // namespace relperf::core

@@ -1,0 +1,62 @@
+#pragma once
+//! \file classical_comparators.hpp
+//! Baseline three-way comparators for the ablation study
+//! (`bench/ablation_comparators`): classical hypothesis tests and the naive
+//! summary-statistic comparison the paper argues against (Sec. I: a single
+//! number "cannot reliably capture the performance of an algorithm").
+
+#include "core/comparison.hpp"
+
+namespace relperf::core {
+
+/// Mann–Whitney U with a Cliff's-delta practical-significance gate:
+/// a difference must be both statistically significant (p < alpha) and
+/// non-negligible (|delta| > min_effect) to count as better/worse.
+class MannWhitneyComparator final : public Comparator {
+public:
+    explicit MannWhitneyComparator(double alpha = 0.05, double min_effect = 0.147);
+
+    [[nodiscard]] Ordering compare(std::span<const double> a,
+                                   std::span<const double> b,
+                                   stats::Rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return "mann-whitney"; }
+
+private:
+    double alpha_;
+    double min_effect_;
+};
+
+/// Two-sample Kolmogorov–Smirnov; direction from the median difference.
+class KsComparator final : public Comparator {
+public:
+    explicit KsComparator(double alpha = 0.05);
+
+    [[nodiscard]] Ordering compare(std::span<const double> a,
+                                   std::span<const double> b,
+                                   stats::Rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return "kolmogorov-smirnov"; }
+
+private:
+    double alpha_;
+};
+
+/// Naive baseline: compares a single summary statistic with a relative
+/// tolerance. This is the approach the paper's methodology replaces.
+class SummaryComparator final : public Comparator {
+public:
+    enum class Statistic { Mean, Median, Minimum };
+
+    explicit SummaryComparator(Statistic stat = Statistic::Mean,
+                               double rel_tolerance = 0.02);
+
+    [[nodiscard]] Ordering compare(std::span<const double> a,
+                                   std::span<const double> b,
+                                   stats::Rng& rng) const override;
+    [[nodiscard]] std::string name() const override;
+
+private:
+    Statistic stat_;
+    double rel_tolerance_;
+};
+
+} // namespace relperf::core

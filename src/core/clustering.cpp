@@ -1,0 +1,132 @@
+#include "core/clustering.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace relperf::core {
+
+double Clustering::score_of(std::size_t alg, int rank) const {
+    if (rank < 1 || rank > cluster_count()) return 0.0;
+    for (const ClusterEntry& e : clusters[static_cast<std::size_t>(rank - 1)]) {
+        if (e.alg == alg) return e.score;
+    }
+    return 0.0;
+}
+
+int Clustering::final_rank(std::size_t alg) const {
+    RELPERF_REQUIRE(alg < final_assignment.size(), "Clustering: algorithm out of range");
+    return final_assignment[alg].rank;
+}
+
+void ClustererConfig::validate() const {
+    RELPERF_REQUIRE(repetitions > 0, "ClustererConfig: repetitions must be positive");
+}
+
+RelativeClusterer::RelativeClusterer(const Comparator& comparator,
+                                     ClustererConfig config)
+    : comparator_(comparator), config_(config) {
+    config_.validate();
+}
+
+RankedSequence RelativeClusterer::sort_once(const MeasurementSet& measurements,
+                                            std::vector<std::size_t> initial_order,
+                                            stats::Rng& rng) const {
+    ThreeWaySorter sorter([&](std::size_t a, std::size_t b) {
+        return comparator_.compare(measurements.samples(a), measurements.samples(b),
+                                   rng);
+    });
+    return sorter.sort(std::move(initial_order));
+}
+
+RankedSequence RelativeClusterer::sort_once_traced(const MeasurementSet& measurements,
+                                                   std::vector<std::size_t> initial_order,
+                                                   stats::Rng& rng,
+                                                   std::vector<SortStep>& trace) const {
+    ThreeWaySorter sorter([&](std::size_t a, std::size_t b) {
+        return comparator_.compare(measurements.samples(a), measurements.samples(b),
+                                   rng);
+    });
+    return sorter.sort_traced(std::move(initial_order), trace);
+}
+
+Clustering RelativeClusterer::cluster(const MeasurementSet& measurements) const {
+    RELPERF_REQUIRE(!measurements.empty(), "RelativeClusterer: no algorithms");
+    const std::size_t p = measurements.size();
+    const stats::Rng master(config_.seed);
+
+    // counts[alg][rank-1] = number of repetitions assigning `rank` to `alg`.
+    std::vector<std::vector<std::size_t>> counts(p, std::vector<std::size_t>(p, 0));
+    int max_rank_seen = 0;
+
+    for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
+        stats::Rng rng = master.child(rep);
+
+        // Procedure 4 line 4: Shuffle(A).
+        std::vector<std::size_t> order(p);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        rng.shuffle(order);
+
+        // Procedure 4 line 5: SortAlgs(A).
+        const RankedSequence seq = sort_once(measurements, std::move(order), rng);
+
+        for (std::size_t pos = 0; pos < p; ++pos) {
+            const int rank = seq.ranks[pos];
+            RELPERF_ASSERT(rank >= 1 && rank <= static_cast<int>(p),
+                           "RelativeClusterer: rank out of range");
+            ++counts[seq.order[pos]][static_cast<std::size_t>(rank - 1)];
+            max_rank_seen = std::max(max_rank_seen, rank);
+        }
+    }
+
+    Clustering out;
+    out.repetitions = config_.repetitions;
+    out.clusters.resize(static_cast<std::size_t>(max_rank_seen));
+
+    // Relative scores (Procedure 4 lines 10-12).
+    const double rep = static_cast<double>(config_.repetitions);
+    for (std::size_t alg = 0; alg < p; ++alg) {
+        for (int rank = 1; rank <= max_rank_seen; ++rank) {
+            const std::size_t w = counts[alg][static_cast<std::size_t>(rank - 1)];
+            if (w > 0) {
+                out.clusters[static_cast<std::size_t>(rank - 1)].push_back(
+                    ClusterEntry{alg, static_cast<double>(w) / rep});
+            }
+        }
+    }
+    for (auto& cluster : out.clusters) {
+        std::sort(cluster.begin(), cluster.end(),
+                  [](const ClusterEntry& a, const ClusterEntry& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.alg < b.alg;
+                  });
+    }
+
+    // Final unique assignment (Sec. III): max-score rank, ties towards the
+    // better rank, score cumulated over better-or-equal ranks.
+    out.final_assignment.resize(p);
+    for (std::size_t alg = 0; alg < p; ++alg) {
+        int best_rank = 1;
+        std::size_t best_count = 0;
+        for (int rank = 1; rank <= max_rank_seen; ++rank) {
+            const std::size_t w = counts[alg][static_cast<std::size_t>(rank - 1)];
+            if (w > best_count) {
+                best_count = w;
+                best_rank = rank;
+            }
+        }
+        RELPERF_ASSERT(best_count > 0, "RelativeClusterer: algorithm never ranked");
+        double cumulated = 0.0;
+        for (int rank = 1; rank <= best_rank; ++rank) {
+            cumulated += static_cast<double>(
+                             counts[alg][static_cast<std::size_t>(rank - 1)]) /
+                         rep;
+        }
+        out.final_assignment[alg] = FinalAssignment{alg, best_rank, cumulated};
+    }
+
+    return out;
+}
+
+} // namespace relperf::core

@@ -1,0 +1,90 @@
+#pragma once
+//! \file clustering.hpp
+//! Relative-score clustering — the paper's Procedure 4 plus the final
+//! unique-assignment rule of Section III.
+//!
+//! The sort of Procedures 1-3 is stochastic when distributions overlap, so it
+//! is repeated `Rep` times over the *same* measurements (shuffling the
+//! algorithm order before each repetition; the measurements are never
+//! re-taken, paper footnote 5). An algorithm assigned rank r in w of the Rep
+//! repetitions receives relative score w / Rep for cluster r — the confidence
+//! of membership. The final unique assignment puts each algorithm into its
+//! max-score cluster with the scores of better ranks cumulated (the paper's
+//! algDA example: rank 3 at 0.6 + rank 2 at 0.3 => final rank 3, score 0.9).
+
+#include "core/comparison.hpp"
+#include "core/measurement.hpp"
+#include "core/threeway_sort.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace relperf::core {
+
+/// Membership of one algorithm in one cluster, with its relative score.
+struct ClusterEntry {
+    std::size_t alg = 0;
+    double score = 0.0; ///< Fraction of repetitions with this rank, in (0, 1].
+};
+
+/// Final unique assignment of one algorithm.
+struct FinalAssignment {
+    std::size_t alg = 0;
+    int rank = 0;       ///< 1-based performance class.
+    double score = 0.0; ///< Cumulated score over ranks <= rank.
+};
+
+/// Full clustering result.
+struct Clustering {
+    /// clusters[r-1] = algorithms that obtained rank r in >= 1 repetition,
+    /// sorted by descending score (the paper's Table I layout).
+    std::vector<std::vector<ClusterEntry>> clusters;
+    /// Final unique assignment, indexed by algorithm id.
+    std::vector<FinalAssignment> final_assignment;
+    /// Number of repetitions actually performed (Rep).
+    std::size_t repetitions = 0;
+
+    [[nodiscard]] int cluster_count() const noexcept {
+        return static_cast<int>(clusters.size());
+    }
+
+    /// Relative score of `alg` in cluster `rank` (0 when absent).
+    [[nodiscard]] double score_of(std::size_t alg, int rank) const;
+
+    /// Convenience: final rank of `alg`.
+    [[nodiscard]] int final_rank(std::size_t alg) const;
+};
+
+/// Configuration of the repeated clustering.
+struct ClustererConfig {
+    std::size_t repetitions = 100;    ///< Paper's Rep.
+    std::uint64_t seed = 0xC0FFEEULL; ///< Master seed (shuffles + comparator).
+
+    void validate() const;
+};
+
+/// Runs Procedure 4 over a MeasurementSet with any Comparator.
+class RelativeClusterer {
+public:
+    RelativeClusterer(const Comparator& comparator, ClustererConfig config = {});
+
+    [[nodiscard]] Clustering cluster(const MeasurementSet& measurements) const;
+
+    /// Single sort pass (one repetition) from a given initial order; exposed
+    /// for diagnostics and the Figure 2 bench.
+    [[nodiscard]] RankedSequence sort_once(const MeasurementSet& measurements,
+                                           std::vector<std::size_t> initial_order,
+                                           stats::Rng& rng) const;
+
+    /// As sort_once, with a step trace.
+    [[nodiscard]] RankedSequence sort_once_traced(const MeasurementSet& measurements,
+                                                  std::vector<std::size_t> initial_order,
+                                                  stats::Rng& rng,
+                                                  std::vector<SortStep>& trace) const;
+
+private:
+    const Comparator& comparator_;
+    ClustererConfig config_;
+};
+
+} // namespace relperf::core

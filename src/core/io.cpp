@@ -1,0 +1,99 @@
+#include "core/io.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace relperf::core {
+
+namespace {
+
+/// Minimal CSV field splitter handling the quoting csv_escape produces.
+std::vector<std::string> split_csv_row(const std::string& line) {
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(field));
+            field.clear();
+        } else if (c != '\r') {
+            field += c;
+        }
+    }
+    fields.push_back(std::move(field));
+    return fields;
+}
+
+} // namespace
+
+MeasurementSet parse_measurements_csv(const std::string& content) {
+    std::istringstream in(content);
+    std::string line;
+    RELPERF_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                    "read_measurements_csv: empty file");
+    const std::vector<std::string> header = split_csv_row(line);
+    RELPERF_REQUIRE(header.size() == 3 && header[0] == "algorithm" &&
+                        header[2] == "seconds",
+                    "read_measurements_csv: expected header "
+                    "'algorithm,measurement_index,seconds'");
+
+    // Preserve first-seen algorithm order.
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<double>> samples;
+    std::size_t row_number = 1;
+    while (std::getline(in, line)) {
+        ++row_number;
+        if (str::trim(line).empty()) continue;
+        const std::vector<std::string> fields = split_csv_row(line);
+        RELPERF_REQUIRE(fields.size() == 3,
+                        str::format("read_measurements_csv: row %zu has %zu "
+                                    "fields, expected 3",
+                                    row_number, fields.size()));
+        const std::string& name = fields[0];
+        char* end = nullptr;
+        const double value = std::strtod(fields[2].c_str(), &end);
+        RELPERF_REQUIRE(end != nullptr && *end == '\0' && !fields[2].empty(),
+                        str::format("read_measurements_csv: bad value '%s' in "
+                                    "row %zu",
+                                    fields[2].c_str(), row_number));
+        if (!samples.count(name)) order.push_back(name);
+        samples[name].push_back(value);
+    }
+
+    MeasurementSet set;
+    for (const std::string& name : order) {
+        set.add(name, std::move(samples[name]));
+    }
+    return set;
+}
+
+MeasurementSet read_measurements_csv(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw Error("read_measurements_csv: cannot open '" + path + "'");
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    return parse_measurements_csv(content.str());
+}
+
+} // namespace relperf::core

@@ -1,0 +1,22 @@
+#pragma once
+//! \file io.hpp
+//! Measurement I/O: load a MeasurementSet from the CSV format produced by
+//! core::write_measurements_csv (header `algorithm,measurement_index,seconds`)
+//! so distributions measured elsewhere (real devices, other tools) can be
+//! clustered by relperf.
+
+#include "core/measurement.hpp"
+
+#include <string>
+
+namespace relperf::core {
+
+/// Parses a measurements CSV. Algorithms appear in first-seen order; the
+/// measurement_index column is ignored (row order defines the sample order).
+/// Throws relperf::Error on missing file, bad header or malformed rows.
+[[nodiscard]] MeasurementSet read_measurements_csv(const std::string& path);
+
+/// Parses CSV content from a string (exposed for tests).
+[[nodiscard]] MeasurementSet parse_measurements_csv(const std::string& content);
+
+} // namespace relperf::core

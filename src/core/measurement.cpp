@@ -1,0 +1,56 @@
+#include "core/measurement.hpp"
+
+#include "support/error.hpp"
+
+namespace relperf::core {
+
+std::size_t MeasurementSet::add(std::string name, std::vector<double> samples) {
+    RELPERF_REQUIRE(!name.empty(), "MeasurementSet: algorithm name must be non-empty");
+    RELPERF_REQUIRE(!samples.empty(), "MeasurementSet: samples must be non-empty");
+    RELPERF_REQUIRE(!contains(name), "MeasurementSet: duplicate algorithm '" + name + "'");
+    for (const double s : samples) {
+        RELPERF_REQUIRE(s >= 0.0, "MeasurementSet: measurements must be non-negative");
+    }
+    algorithms_.push_back(AlgorithmMeasurements{std::move(name), std::move(samples)});
+    return algorithms_.size() - 1;
+}
+
+const AlgorithmMeasurements& MeasurementSet::at(std::size_t index) const {
+    RELPERF_REQUIRE(index < algorithms_.size(), "MeasurementSet: index out of range");
+    return algorithms_[index];
+}
+
+std::span<const double> MeasurementSet::samples(std::size_t index) const {
+    return at(index).samples;
+}
+
+const std::string& MeasurementSet::name(std::size_t index) const {
+    return at(index).name;
+}
+
+std::size_t MeasurementSet::index_of(const std::string& name) const {
+    for (std::size_t i = 0; i < algorithms_.size(); ++i) {
+        if (algorithms_[i].name == name) return i;
+    }
+    throw InvalidArgument("MeasurementSet: unknown algorithm '" + name + "'");
+}
+
+bool MeasurementSet::contains(const std::string& name) const noexcept {
+    for (const AlgorithmMeasurements& alg : algorithms_) {
+        if (alg.name == name) return true;
+    }
+    return false;
+}
+
+std::vector<std::string> MeasurementSet::names() const {
+    std::vector<std::string> out;
+    out.reserve(algorithms_.size());
+    for (const AlgorithmMeasurements& alg : algorithms_) out.push_back(alg.name);
+    return out;
+}
+
+stats::Summary MeasurementSet::summary(std::size_t index) const {
+    return stats::summarize(samples(index));
+}
+
+} // namespace relperf::core

@@ -1,0 +1,51 @@
+#pragma once
+//! \file measurement.hpp
+//! Containers for the N repeated measurements of each algorithm — the input
+//! of the relative-performance analysis.
+
+#include "stats/descriptive.hpp"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace relperf::core {
+
+/// One algorithm's measurement sample.
+struct AlgorithmMeasurements {
+    std::string name;            ///< e.g. "algDDA".
+    std::vector<double> samples; ///< N measurements (seconds by convention).
+};
+
+/// An ordered set of algorithms with their measurement distributions.
+/// Indices into this set are the algorithm identities used by the sorter and
+/// the clusterer.
+class MeasurementSet {
+public:
+    MeasurementSet() = default;
+
+    /// Appends an algorithm; names must be unique and samples non-empty.
+    /// Returns the algorithm's index.
+    std::size_t add(std::string name, std::vector<double> samples);
+
+    [[nodiscard]] std::size_t size() const noexcept { return algorithms_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return algorithms_.empty(); }
+
+    [[nodiscard]] const AlgorithmMeasurements& at(std::size_t index) const;
+    [[nodiscard]] std::span<const double> samples(std::size_t index) const;
+    [[nodiscard]] const std::string& name(std::size_t index) const;
+
+    /// Index of the algorithm called `name`; throws if absent.
+    [[nodiscard]] std::size_t index_of(const std::string& name) const;
+    [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    /// Summary statistics of one algorithm's sample.
+    [[nodiscard]] stats::Summary summary(std::size_t index) const;
+
+private:
+    std::vector<AlgorithmMeasurements> algorithms_;
+};
+
+} // namespace relperf::core

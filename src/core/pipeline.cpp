@@ -1,0 +1,50 @@
+#include "core/pipeline.hpp"
+
+#include "support/error.hpp"
+
+namespace relperf::core {
+
+MeasurementSet measure_assignments(
+    const sim::SimulatedExecutor& executor, const workloads::TaskChain& chain,
+    const std::vector<workloads::DeviceAssignment>& assignments, std::size_t n,
+    stats::Rng& rng) {
+    RELPERF_REQUIRE(!assignments.empty(), "measure_assignments: no assignments");
+    MeasurementSet set;
+    for (const workloads::DeviceAssignment& assignment : assignments) {
+        set.add(assignment.alg_name(), executor.measure(chain, assignment, n, rng));
+    }
+    return set;
+}
+
+MeasurementSet measure_assignments_real(
+    const sim::RealExecutor& executor, const workloads::TaskChain& chain,
+    const std::vector<workloads::DeviceAssignment>& assignments, std::size_t n,
+    stats::Rng& rng, std::size_t warmup) {
+    RELPERF_REQUIRE(!assignments.empty(), "measure_assignments_real: no assignments");
+    MeasurementSet set;
+    for (const workloads::DeviceAssignment& assignment : assignments) {
+        set.add(assignment.alg_name(),
+                executor.measure(chain, assignment, n, rng, warmup));
+    }
+    return set;
+}
+
+AnalysisResult analyze_chain(
+    const sim::SimulatedExecutor& executor, const workloads::TaskChain& chain,
+    const std::vector<workloads::DeviceAssignment>& assignments,
+    const AnalysisConfig& config) {
+    stats::Rng rng(config.measurement_seed);
+    MeasurementSet measurements = measure_assignments(
+        executor, chain, assignments, config.measurements_per_alg, rng);
+    return analyze_measurements(std::move(measurements), config);
+}
+
+AnalysisResult analyze_measurements(MeasurementSet measurements,
+                                    const AnalysisConfig& config) {
+    const BootstrapComparator comparator(config.comparator);
+    const RelativeClusterer clusterer(comparator, config.clustering);
+    Clustering clustering = clusterer.cluster(measurements);
+    return AnalysisResult{std::move(measurements), std::move(clustering)};
+}
+
+} // namespace relperf::core

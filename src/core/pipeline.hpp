@@ -1,0 +1,57 @@
+#pragma once
+//! \file pipeline.hpp
+//! End-to-end analysis pipeline: measure every device assignment of a task
+//! chain (simulated or real executor), then cluster the resulting
+//! distributions into performance classes. This is the library's main entry
+//! point — the examples and most benches go through it.
+
+#include "core/bootstrap_comparator.hpp"
+#include "core/clustering.hpp"
+#include "core/measurement.hpp"
+#include "sim/executor.hpp"
+#include "sim/real_executor.hpp"
+#include "workloads/chain.hpp"
+
+#include <vector>
+
+namespace relperf::core {
+
+/// Measures each assignment `n` times with the simulated executor.
+/// Algorithm names follow the paper's convention ("algDDA").
+[[nodiscard]] MeasurementSet measure_assignments(
+    const sim::SimulatedExecutor& executor, const workloads::TaskChain& chain,
+    const std::vector<workloads::DeviceAssignment>& assignments, std::size_t n,
+    stats::Rng& rng);
+
+/// Measured variant via the RealExecutor (wall-clock on this machine).
+[[nodiscard]] MeasurementSet measure_assignments_real(
+    const sim::RealExecutor& executor, const workloads::TaskChain& chain,
+    const std::vector<workloads::DeviceAssignment>& assignments, std::size_t n,
+    stats::Rng& rng, std::size_t warmup = 1);
+
+/// Analysis configuration bundling the paper's N and Rep with the comparator
+/// knobs.
+struct AnalysisConfig {
+    std::size_t measurements_per_alg = 30; ///< Paper's N.
+    BootstrapComparatorConfig comparator;  ///< Comparison strategy knobs.
+    ClustererConfig clustering;            ///< Rep + seed.
+    std::uint64_t measurement_seed = 0xFEEDULL;
+};
+
+/// Result bundle: the raw distributions plus the clustering.
+struct AnalysisResult {
+    MeasurementSet measurements;
+    Clustering clustering;
+};
+
+/// One-call pipeline over a simulated platform.
+[[nodiscard]] AnalysisResult analyze_chain(
+    const sim::SimulatedExecutor& executor, const workloads::TaskChain& chain,
+    const std::vector<workloads::DeviceAssignment>& assignments,
+    const AnalysisConfig& config);
+
+/// One-call pipeline over an existing MeasurementSet (any source).
+[[nodiscard]] AnalysisResult analyze_measurements(MeasurementSet measurements,
+                                                  const AnalysisConfig& config);
+
+} // namespace relperf::core

@@ -1,0 +1,177 @@
+#include "core/report.hpp"
+
+#include "stats/histogram.hpp"
+#include "support/error.hpp"
+#include "support/csv.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+#include <algorithm>
+
+namespace relperf::core {
+
+using support::Align;
+using support::AsciiTable;
+
+std::string render_cluster_table(const Clustering& clustering,
+                                 const MeasurementSet& measurements) {
+    AsciiTable table({"Cluster", "Algorithm", "Relative Score"},
+                     {Align::Left, Align::Left, Align::Right});
+    for (int rank = 1; rank <= clustering.cluster_count(); ++rank) {
+        const auto& cluster = clustering.clusters[static_cast<std::size_t>(rank - 1)];
+        if (cluster.empty()) continue;
+        bool first = true;
+        for (const ClusterEntry& e : cluster) {
+            table.add_row({first ? "C" + std::to_string(rank) : "",
+                           measurements.name(e.alg), str::fixed(e.score, 2)});
+            first = false;
+        }
+        if (rank != clustering.cluster_count()) table.add_separator();
+    }
+    return table.render();
+}
+
+std::string render_final_table(const Clustering& clustering,
+                               const MeasurementSet& measurements) {
+    // Order by (rank, descending score) for readability.
+    std::vector<FinalAssignment> rows = clustering.final_assignment;
+    std::sort(rows.begin(), rows.end(),
+              [](const FinalAssignment& a, const FinalAssignment& b) {
+                  if (a.rank != b.rank) return a.rank < b.rank;
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.alg < b.alg;
+              });
+    AsciiTable table({"Final Cluster", "Algorithm", "Cumulated Score"},
+                     {Align::Left, Align::Left, Align::Right});
+    for (const FinalAssignment& row : rows) {
+        table.add_row({"C" + std::to_string(row.rank), measurements.name(row.alg),
+                       str::fixed(row.score, 2)});
+    }
+    return table.render();
+}
+
+std::string render_summary_table(const MeasurementSet& measurements) {
+    std::vector<std::size_t> order(measurements.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::vector<stats::Summary> summaries;
+    summaries.reserve(measurements.size());
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        summaries.push_back(measurements.summary(i));
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return summaries[a].mean < summaries[b].mean;
+    });
+
+    AsciiTable table({"Algorithm", "N", "Mean", "StdDev", "Min", "Median", "Max"},
+                     {Align::Left, Align::Right, Align::Right, Align::Right,
+                      Align::Right, Align::Right, Align::Right});
+    for (const std::size_t i : order) {
+        const stats::Summary& s = summaries[i];
+        table.add_row({measurements.name(i), std::to_string(s.count),
+                       str::human_seconds(s.mean), str::human_seconds(s.stddev),
+                       str::human_seconds(s.min), str::human_seconds(s.median),
+                       str::human_seconds(s.max)});
+    }
+    return table.render();
+}
+
+std::string render_comparison_matrix(const MeasurementSet& measurements,
+                                     const Comparator& comparator,
+                                     stats::Rng& rng) {
+    std::vector<std::string> header = {""};
+    for (std::size_t j = 0; j < measurements.size(); ++j) {
+        header.push_back(measurements.name(j));
+    }
+    AsciiTable table(std::move(header));
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        std::vector<std::string> row = {measurements.name(i)};
+        for (std::size_t j = 0; j < measurements.size(); ++j) {
+            if (i == j) {
+                row.emplace_back("=");
+            } else {
+                const Ordering o = comparator.compare(measurements.samples(i),
+                                                      measurements.samples(j), rng);
+                row.emplace_back(to_symbol(o));
+            }
+        }
+        table.add_row(std::move(row));
+    }
+    return table.render();
+}
+
+std::string render_sort_trace(const std::vector<SortStep>& trace,
+                              const MeasurementSet& measurements) {
+    std::string out;
+    for (std::size_t s = 0; s < trace.size(); ++s) {
+        const SortStep& step = trace[s];
+        out += str::format("step %zu (pass %zu, j=%zu): %s %s %s%s\n",
+                           s + 1, step.pass + 1, step.position + 1,
+                           measurements.name(step.left_alg).c_str(),
+                           to_symbol(step.outcome),
+                           measurements.name(step.right_alg).c_str(),
+                           step.swapped ? "  [swap]" : "");
+        out += "  sequence:";
+        for (std::size_t pos = 0; pos < step.order_after.size(); ++pos) {
+            out += str::format(" (%s, %d)",
+                               measurements.name(step.order_after[pos]).c_str(),
+                               step.ranks_after[pos]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string render_distributions(const MeasurementSet& measurements,
+                                 std::size_t bins, std::size_t width) {
+    RELPERF_REQUIRE(!measurements.empty(), "render_distributions: empty set");
+    // Shared axis across all algorithms (Figure 1b overlays them).
+    double lo = measurements.samples(0)[0];
+    double hi = lo;
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        for (const double x : measurements.samples(i)) {
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+        }
+    }
+    if (hi == lo) {
+        lo -= 0.5;
+        hi += 0.5;
+    }
+    std::string out;
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        const stats::Histogram h(measurements.samples(i), lo, hi, bins);
+        out += h.render_ascii(width, measurements.name(i));
+        out += '\n';
+    }
+    return out;
+}
+
+void write_measurements_csv(const MeasurementSet& measurements,
+                            const std::string& path) {
+    support::CsvWriter csv(path, {"algorithm", "measurement_index", "seconds"});
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        const auto samples = measurements.samples(i);
+        for (std::size_t k = 0; k < samples.size(); ++k) {
+            csv.add_row({measurements.name(i), std::to_string(k),
+                         str::format("%.12g", samples[k])});
+        }
+    }
+}
+
+void write_clustering_csv(const Clustering& clustering,
+                          const MeasurementSet& measurements,
+                          const std::string& path) {
+    support::CsvWriter csv(path, {"cluster", "algorithm", "relative_score",
+                                  "final_cluster", "final_score"});
+    for (int rank = 1; rank <= clustering.cluster_count(); ++rank) {
+        for (const ClusterEntry& e :
+             clustering.clusters[static_cast<std::size_t>(rank - 1)]) {
+            const FinalAssignment& fin = clustering.final_assignment[e.alg];
+            csv.add_row({std::to_string(rank), measurements.name(e.alg),
+                         str::format("%.6g", e.score), std::to_string(fin.rank),
+                         str::format("%.6g", fin.score)});
+        }
+    }
+}
+
+} // namespace relperf::core

@@ -1,0 +1,57 @@
+#pragma once
+//! \file report.hpp
+//! Human-readable rendering of analysis results: the paper-shaped cluster
+//! table (Table I), measurement summaries, pairwise comparison matrices,
+//! bubble-sort traces (Figure 2) and ASCII distribution plots (Figure 1b),
+//! plus CSV export for external plotting.
+
+#include "core/clustering.hpp"
+#include "core/measurement.hpp"
+#include "core/threeway_sort.hpp"
+
+#include <string>
+
+namespace relperf::core {
+
+/// Renders the per-rank cluster table with relative scores (paper Table I):
+///
+///     +---------+-----------+----------------+
+///     | Cluster | Algorithm | Relative Score |
+///     ...
+[[nodiscard]] std::string render_cluster_table(const Clustering& clustering,
+                                               const MeasurementSet& measurements);
+
+/// Renders the final unique assignment (max-score rank, cumulated score).
+[[nodiscard]] std::string render_final_table(const Clustering& clustering,
+                                             const MeasurementSet& measurements);
+
+/// Per-algorithm summary statistics (count/mean/sd/quartiles), sorted by
+/// mean.
+[[nodiscard]] std::string render_summary_table(const MeasurementSet& measurements);
+
+/// Full pairwise three-way comparison matrix using `comparator`
+/// (entry [i][j] = symbol of compare(i, j)).
+[[nodiscard]] std::string render_comparison_matrix(const MeasurementSet& measurements,
+                                                   const Comparator& comparator,
+                                                   stats::Rng& rng);
+
+/// Step-by-step sort trace in the style of the paper's Figure 2.
+[[nodiscard]] std::string render_sort_trace(const std::vector<SortStep>& trace,
+                                            const MeasurementSet& measurements);
+
+/// Shared-axis ASCII histograms of every algorithm's distribution
+/// (the paper's Figure 1b as terminal output).
+[[nodiscard]] std::string render_distributions(const MeasurementSet& measurements,
+                                               std::size_t bins = 40,
+                                               std::size_t width = 50);
+
+/// CSV export: one row per (algorithm, measurement).
+void write_measurements_csv(const MeasurementSet& measurements,
+                            const std::string& path);
+
+/// CSV export: one row per (cluster, algorithm, score) plus final columns.
+void write_clustering_csv(const Clustering& clustering,
+                          const MeasurementSet& measurements,
+                          const std::string& path);
+
+} // namespace relperf::core

@@ -1,0 +1,58 @@
+#include "linalg/blas1.hpp"
+
+#include "support/error.hpp"
+
+#include <cmath>
+
+namespace relperf::linalg {
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+    RELPERF_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+    #pragma omp simd
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+    RELPERF_REQUIRE(x.size() == y.size(), "dot: size mismatch");
+    double acc = 0.0;
+    #pragma omp simd reduction(+ : acc)
+    for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+    return acc;
+}
+
+void scal(double alpha, std::span<double> x) noexcept {
+    #pragma omp simd
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] *= alpha;
+}
+
+double nrm2(std::span<const double> x) noexcept {
+    double scale = 0.0;
+    double ssq = 1.0;
+    for (const double v : x) {
+        if (v == 0.0) continue;
+        const double av = std::fabs(v);
+        if (scale < av) {
+            ssq = 1.0 + ssq * (scale / av) * (scale / av);
+            scale = av;
+        } else {
+            ssq += (av / scale) * (av / scale);
+        }
+    }
+    return scale * std::sqrt(ssq);
+}
+
+std::size_t iamax(std::span<const double> x) {
+    RELPERF_REQUIRE(!x.empty(), "iamax: empty vector");
+    std::size_t best = 0;
+    double best_abs = std::fabs(x[0]);
+    for (std::size_t i = 1; i < x.size(); ++i) {
+        const double a = std::fabs(x[i]);
+        if (a > best_abs) {
+            best_abs = a;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace relperf::linalg

@@ -1,0 +1,24 @@
+#pragma once
+//! \file blas1.hpp
+//! Vector (BLAS-1) kernels used by the factorizations and solvers.
+
+#include <span>
+
+namespace relperf::linalg {
+
+/// y += alpha * x (sizes must match).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Dot product.
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// x *= alpha.
+void scal(double alpha, std::span<double> x) noexcept;
+
+/// Euclidean norm with overflow-safe scaling.
+[[nodiscard]] double nrm2(std::span<const double> x) noexcept;
+
+/// Index of the element with the largest absolute value; requires non-empty.
+[[nodiscard]] std::size_t iamax(std::span<const double> x);
+
+} // namespace relperf::linalg

@@ -1,0 +1,39 @@
+#pragma once
+//! \file cholesky.hpp
+//! Cholesky factorization and triangular solves — the solver path for the
+//! paper's Regularized Least Squares task: (AᵀA + λI) Z = AᵀB with an SPD
+//! left-hand side.
+
+#include "linalg/matrix.hpp"
+
+namespace relperf::linalg {
+
+/// Factors SPD `a` in place into its lower Cholesky factor L (upper triangle
+/// is zeroed). Throws InvalidArgument if `a` is not square or not positive
+/// definite (non-positive pivot).
+void cholesky_factor(Matrix& a);
+
+/// Solves L * X = B in place (B overwritten by X); L lower-triangular.
+void solve_lower(const Matrix& l, Matrix& b);
+
+/// Solves Lᵀ * X = B in place; L lower-triangular (accessed transposed).
+void solve_lower_transposed(const Matrix& l, Matrix& b);
+
+/// One-shot SPD solve: returns X with spd * X = rhs, via Cholesky.
+/// `spd` is copied; use the in-place pieces above to avoid the copy.
+[[nodiscard]] Matrix cholesky_solve(const Matrix& spd, const Matrix& rhs);
+
+/// FLOPs of an n x n Cholesky factorization: n^3 / 3.
+[[nodiscard]] constexpr double cholesky_flops(std::size_t n) noexcept {
+    const double dn = static_cast<double>(n);
+    return dn * dn * dn / 3.0;
+}
+
+/// FLOPs of a triangular solve with an n x n factor and nrhs right-hand
+/// sides: n^2 * nrhs.
+[[nodiscard]] constexpr double trsm_flops(std::size_t n, std::size_t nrhs) noexcept {
+    return static_cast<double>(n) * static_cast<double>(n) *
+           static_cast<double>(nrhs);
+}
+
+} // namespace relperf::linalg

@@ -1,0 +1,174 @@
+#include "linalg/gemm.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include <omp.h>
+
+namespace relperf::linalg {
+
+namespace {
+
+std::atomic<int> g_gemm_threads{0};
+
+// Blocking parameters tuned for ~32 KiB L1 / 1 MiB L2 per core.
+constexpr std::size_t kBlockM = 64;  // rows of A per macro block
+constexpr std::size_t kBlockN = 256; // cols of B per macro block
+constexpr std::size_t kBlockK = 256; // shared dimension per macro block
+
+constexpr std::size_t kMicroM = 4; // micro-kernel rows
+constexpr std::size_t kMicroN = 4; // micro-kernel cols
+
+void check_shapes(const Matrix& a, const Matrix& b, const Matrix& c) {
+    RELPERF_REQUIRE(a.cols() == b.rows(), "gemm: inner dimensions differ");
+    RELPERF_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+                    "gemm: output shape mismatch");
+}
+
+/// 4x4 register micro-kernel: C[4][4] += A-panel (4 x kc) * B-panel (kc x 4).
+/// `a` is row-major with stride `lda`; `bp` is packed row-major kc x 4.
+inline void micro_kernel_4x4(std::size_t kc, const double* a, std::size_t lda,
+                             const double* bp, double* c, std::size_t ldc) noexcept {
+    double acc00 = 0, acc01 = 0, acc02 = 0, acc03 = 0;
+    double acc10 = 0, acc11 = 0, acc12 = 0, acc13 = 0;
+    double acc20 = 0, acc21 = 0, acc22 = 0, acc23 = 0;
+    double acc30 = 0, acc31 = 0, acc32 = 0, acc33 = 0;
+    for (std::size_t p = 0; p < kc; ++p) {
+        const double b0 = bp[p * kMicroN + 0];
+        const double b1 = bp[p * kMicroN + 1];
+        const double b2 = bp[p * kMicroN + 2];
+        const double b3 = bp[p * kMicroN + 3];
+        const double a0 = a[0 * lda + p];
+        const double a1 = a[1 * lda + p];
+        const double a2 = a[2 * lda + p];
+        const double a3 = a[3 * lda + p];
+        acc00 += a0 * b0; acc01 += a0 * b1; acc02 += a0 * b2; acc03 += a0 * b3;
+        acc10 += a1 * b0; acc11 += a1 * b1; acc12 += a1 * b2; acc13 += a1 * b3;
+        acc20 += a2 * b0; acc21 += a2 * b1; acc22 += a2 * b2; acc23 += a2 * b3;
+        acc30 += a3 * b0; acc31 += a3 * b1; acc32 += a3 * b2; acc33 += a3 * b3;
+    }
+    c[0 * ldc + 0] += acc00; c[0 * ldc + 1] += acc01; c[0 * ldc + 2] += acc02; c[0 * ldc + 3] += acc03;
+    c[1 * ldc + 0] += acc10; c[1 * ldc + 1] += acc11; c[1 * ldc + 2] += acc12; c[1 * ldc + 3] += acc13;
+    c[2 * ldc + 0] += acc20; c[2 * ldc + 1] += acc21; c[2 * ldc + 2] += acc22; c[2 * ldc + 3] += acc23;
+    c[3 * ldc + 0] += acc30; c[3 * ldc + 1] += acc31; c[3 * ldc + 2] += acc32; c[3 * ldc + 3] += acc33;
+}
+
+/// Generic edge kernel for fringe tiles smaller than 4x4.
+inline void edge_kernel(std::size_t mr, std::size_t nr, std::size_t kc,
+                        const double* a, std::size_t lda, const double* bp,
+                        double* c, std::size_t ldc) noexcept {
+    for (std::size_t i = 0; i < mr; ++i) {
+        for (std::size_t j = 0; j < nr; ++j) {
+            double acc = 0.0;
+            for (std::size_t p = 0; p < kc; ++p) {
+                acc += a[i * lda + p] * bp[p * kMicroN + j];
+            }
+            c[i * ldc + j] += acc;
+        }
+    }
+}
+
+} // namespace
+
+void set_gemm_threads(int threads) noexcept {
+    g_gemm_threads.store(threads < 0 ? 0 : threads, std::memory_order_relaxed);
+}
+
+int gemm_threads() noexcept {
+    const int t = g_gemm_threads.load(std::memory_order_relaxed);
+    return t == 0 ? omp_get_max_threads() : t;
+}
+
+void gemm_reference(double alpha, const Matrix& a, const Matrix& b, double beta,
+                    Matrix& c) {
+    check_shapes(a, b, c);
+    const std::size_t m = a.rows();
+    const std::size_t n = b.cols();
+    const std::size_t k = a.cols();
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t p = 0; p < k; ++p) acc += a(i, p) * b(p, j);
+            c(i, j) = alpha * acc + beta * c(i, j);
+        }
+    }
+}
+
+void gemm(double alpha, const Matrix& a, const Matrix& b, double beta, Matrix& c) {
+    check_shapes(a, b, c);
+    const std::size_t m = a.rows();
+    const std::size_t n = b.cols();
+    const std::size_t k = a.cols();
+
+    // beta pass first so K-blocks can accumulate with +=.
+    if (beta == 0.0) {
+        c.set_zero();
+    } else if (beta != 1.0) {
+        for (double& x : c.data()) x *= beta;
+    }
+    if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+
+    const int threads = std::max(1, gemm_threads());
+
+    #pragma omp parallel num_threads(threads)
+    {
+        // Per-thread packed B panel (kBlockK x kBlockN, padded to kMicroN).
+        std::vector<double> bpack(kBlockK * (kBlockN + kMicroN));
+
+        #pragma omp for collapse(2) schedule(dynamic)
+        for (std::size_t jb = 0; jb < n; jb += kBlockN) {
+            for (std::size_t ib = 0; ib < m; ib += kBlockM) {
+                const std::size_t nb = std::min(kBlockN, n - jb);
+                const std::size_t mb = std::min(kBlockM, m - ib);
+                for (std::size_t pb = 0; pb < k; pb += kBlockK) {
+                    const std::size_t kb = std::min(kBlockK, k - pb);
+
+                    // Pack alpha * B(pb:pb+kb, jb:jb+nb) into column strips of
+                    // width kMicroN so the micro-kernel streams contiguously.
+                    const std::size_t strips = (nb + kMicroN - 1) / kMicroN;
+                    for (std::size_t s = 0; s < strips; ++s) {
+                        const std::size_t j0 = s * kMicroN;
+                        const std::size_t nw = std::min(kMicroN, nb - j0);
+                        double* dst = bpack.data() + s * kBlockK * kMicroN;
+                        for (std::size_t p = 0; p < kb; ++p) {
+                            for (std::size_t j = 0; j < kMicroN; ++j) {
+                                dst[p * kMicroN + j] =
+                                    j < nw ? alpha * b(pb + p, jb + j0 + j) : 0.0;
+                            }
+                        }
+                    }
+
+                    // Sweep micro tiles of C.
+                    for (std::size_t i0 = 0; i0 < mb; i0 += kMicroM) {
+                        const std::size_t mr = std::min(kMicroM, mb - i0);
+                        const double* a_tile = &a(ib + i0, pb);
+                        for (std::size_t s = 0; s < strips; ++s) {
+                            const std::size_t j0 = s * kMicroN;
+                            const std::size_t nr = std::min(kMicroN, nb - j0);
+                            const double* bp = bpack.data() + s * kBlockK * kMicroN;
+                            double* c_tile = &c(ib + i0, jb + j0);
+                            if (mr == kMicroM && nr == kMicroN) {
+                                micro_kernel_4x4(kb, a_tile, a.cols(), bp, c_tile,
+                                                 c.cols());
+                            } else {
+                                edge_kernel(mr, nr, kb, a_tile, a.cols(), bp,
+                                            c_tile, c.cols());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+    Matrix c(a.rows(), b.cols());
+    gemm(1.0, a, b, 0.0, c);
+    return c;
+}
+
+} // namespace relperf::linalg

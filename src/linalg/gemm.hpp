@@ -1,0 +1,39 @@
+#pragma once
+//! \file gemm.hpp
+//! General matrix-matrix multiplication: C = alpha * A * B + beta * C.
+//!
+//! Two implementations:
+//!  * `gemm_reference` — textbook triple loop; the correctness oracle.
+//!  * `gemm`           — cache-blocked, B-packed, OpenMP-parallel kernel
+//!                       with an unrolled 4x4 register micro-kernel.
+//!
+//! `set_gemm_threads` clamps the OpenMP team used by `gemm`; the
+//! RealExecutor maps the paper's "edge device" to 1 thread and the
+//! "accelerator" to the full machine (paper footnote 2).
+
+#include "linalg/matrix.hpp"
+
+namespace relperf::linalg {
+
+/// Reference implementation (single-threaded). Oracle for tests.
+void gemm_reference(double alpha, const Matrix& a, const Matrix& b, double beta,
+                    Matrix& c);
+
+/// Blocked + packed + OpenMP implementation.
+void gemm(double alpha, const Matrix& a, const Matrix& b, double beta, Matrix& c);
+
+/// Convenience: returns A * B.
+[[nodiscard]] Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// Number of threads `gemm` may use; 0 = library default (max).
+void set_gemm_threads(int threads) noexcept;
+[[nodiscard]] int gemm_threads() noexcept;
+
+/// FLOP count of a GEMM with these dimensions (2*m*n*k, plus m*n for beta).
+[[nodiscard]] constexpr double gemm_flops(std::size_t m, std::size_t n,
+                                          std::size_t k) noexcept {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+}
+
+} // namespace relperf::linalg

@@ -1,0 +1,52 @@
+#include "linalg/rls.hpp"
+
+#include "linalg/cholesky.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/syrk.hpp"
+#include "support/error.hpp"
+
+namespace relperf::linalg {
+
+Matrix rls_solve(const Matrix& a, const Matrix& b, double penalty) {
+    RELPERF_REQUIRE(a.rows() >= a.cols(), "rls_solve: A must be square or tall");
+    RELPERF_REQUIRE(a.rows() == b.rows(), "rls_solve: A and B row counts differ");
+    RELPERF_REQUIRE(penalty >= 0.0, "rls_solve: penalty must be non-negative");
+
+    // Gram matrix G = AᵀA, regularized.
+    Matrix g = gram(a);
+    // Guard floor: random A can be ill-conditioned when penalty == 0.
+    const double floor = 1e-10 * static_cast<double>(a.cols());
+    g.add_scaled_identity(penalty > floor ? penalty : floor);
+
+    // Right-hand side AᵀB.
+    const Matrix at = a.transposed();
+    Matrix rhs(a.cols(), b.cols());
+    gemm(1.0, at, b, 0.0, rhs);
+
+    // Cholesky solve.
+    cholesky_factor(g);
+    solve_lower(g, rhs);
+    solve_lower_transposed(g, rhs);
+    return rhs;
+}
+
+double rls_residual(const Matrix& a, const Matrix& b, const Matrix& z) {
+    RELPERF_REQUIRE(a.cols() == z.rows(), "rls_residual: A/Z shape mismatch");
+    RELPERF_REQUIRE(a.rows() == b.rows() && z.cols() == b.cols(),
+                    "rls_residual: B shape mismatch");
+    Matrix az(a.rows(), z.cols());
+    gemm(1.0, a, z, 0.0, az);
+    return subtract(az, b).frobenius_norm();
+}
+
+double rls_flops(std::size_t n) noexcept {
+    const double dn = static_cast<double>(n);
+    const double gram_cost = gram_flops(n, n);
+    const double chol = cholesky_flops(n);
+    const double atb = gemm_flops(n, n, n);
+    const double solves = 2.0 * trsm_flops(n, n);
+    const double residual = gemm_flops(n, n, n) + dn * dn /*sub*/ + 2.0 * dn * dn /*norm*/;
+    return gram_cost + dn /*add identity*/ + chol + atb + solves + residual;
+}
+
+} // namespace relperf::linalg

@@ -1,0 +1,31 @@
+#pragma once
+//! \file rls.hpp
+//! Regularized Least Squares (Tikhonov) — the mathematical problem inside the
+//! paper's MathTask (Procedure 6, line 4):
+//!
+//!     Z = (AᵀA + penalty · I)⁻¹ AᵀB
+//!
+//! solved via Gram matrix + Cholesky. Also provides the residual penalty
+//! update ‖AZ − B‖₂ (line 5) and the FLOP model used by the simulator and
+//! the energy/FLOPs decision criteria of Section IV.
+
+#include "linalg/matrix.hpp"
+
+namespace relperf::linalg {
+
+/// Solves the RLS system for square-or-tall A (rows >= cols).
+/// `penalty` must make AᵀA + penalty·I positive definite (penalty >= 0 works
+/// for full-rank A; a tiny floor is applied internally to guard rank
+/// deficiency of random matrices).
+[[nodiscard]] Matrix rls_solve(const Matrix& a, const Matrix& b, double penalty);
+
+/// Residual norm ‖A Z − B‖_F (the paper's next-iteration penalty).
+[[nodiscard]] double rls_residual(const Matrix& a, const Matrix& b, const Matrix& z);
+
+/// FLOPs of one rls_solve + residual evaluation with n x n A and B
+/// (Procedure 6 uses square matrices of order `size`):
+///   Gram n²(n+1) + add n + Cholesky n³/3 + AᵀB 2n³ + 2 triangular solves
+///   2n³ + residual GEMM 2n³ + subtraction n² + norm 2n².
+[[nodiscard]] double rls_flops(std::size_t n) noexcept;
+
+} // namespace relperf::linalg

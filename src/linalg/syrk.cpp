@@ -1,0 +1,50 @@
+#include "linalg/syrk.hpp"
+
+#include "linalg/gemm.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+
+namespace relperf::linalg {
+
+void gram(const Matrix& a, Matrix& c) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    if (c.rows() != n || c.cols() != n) c = Matrix(n, n);
+    else c.set_zero();
+
+    constexpr std::size_t kBlock = 64;
+    const int threads = std::max(1, gemm_threads());
+
+    // Lower triangle: c(i, j) = sum_p a(p, i) * a(p, j), j <= i.
+    #pragma omp parallel for schedule(dynamic) num_threads(threads)
+    for (std::size_t ib = 0; ib < n; ib += kBlock) {
+        const std::size_t i_end = std::min(ib + kBlock, n);
+        for (std::size_t jb = 0; jb <= ib; jb += kBlock) {
+            const std::size_t j_end = std::min(jb + kBlock, n);
+            for (std::size_t p = 0; p < m; ++p) {
+                const double* row = &a(p, 0);
+                for (std::size_t i = ib; i < i_end; ++i) {
+                    const double aip = row[i];
+                    const std::size_t j_hi = std::min(j_end, i + 1);
+                    for (std::size_t j = jb; j < j_hi; ++j) {
+                        c(i, j) += aip * row[j];
+                    }
+                }
+            }
+        }
+    }
+
+    // Mirror to the upper triangle.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) c(i, j) = c(j, i);
+    }
+}
+
+Matrix gram(const Matrix& a) {
+    Matrix c;
+    gram(a, c);
+    return c;
+}
+
+} // namespace relperf::linalg

@@ -1,0 +1,23 @@
+#pragma once
+//! \file syrk.hpp
+//! Symmetric rank-k update specialized for the Gram matrix the RLS task
+//! needs: C = Aᵀ A (exploits symmetry, computes the lower triangle and
+//! mirrors it).
+
+#include "linalg/matrix.hpp"
+
+namespace relperf::linalg {
+
+/// C = Aᵀ A, full (mirrored) storage. C is resized/overwritten.
+void gram(const Matrix& a, Matrix& c);
+
+/// Convenience returning a fresh Gram matrix.
+[[nodiscard]] Matrix gram(const Matrix& a);
+
+/// FLOPs of the Gram computation: n*(n+1)*m (n = cols, m = rows).
+[[nodiscard]] constexpr double gram_flops(std::size_t m, std::size_t n) noexcept {
+    return static_cast<double>(n) * static_cast<double>(n + 1) *
+           static_cast<double>(m);
+}
+
+} // namespace relperf::linalg

@@ -1,0 +1,101 @@
+#include "model/predictor.hpp"
+
+#include "stats/descriptive.hpp"
+#include "stats/ranking.hpp"
+#include "support/error.hpp"
+
+#include <cmath>
+
+namespace relperf::model {
+
+PerformancePredictor::PerformancePredictor(PredictorConfig config)
+    : config_(config) {
+    RELPERF_REQUIRE(config_.ridge_lambda >= 0.0,
+                    "PerformancePredictor: lambda must be >= 0");
+    RELPERF_REQUIRE(config_.tie_epsilon >= 0.0,
+                    "PerformancePredictor: tie_epsilon must be >= 0");
+}
+
+void PerformancePredictor::fit(
+    const workloads::TaskChain& chain,
+    const std::vector<workloads::DeviceAssignment>& assignments,
+    const core::MeasurementSet& measurements) {
+    RELPERF_REQUIRE(assignments.size() == measurements.size(),
+                    "PerformancePredictor: assignments/measurements mismatch");
+    RELPERF_REQUIRE(assignments.size() >= 2,
+                    "PerformancePredictor: need at least two training points");
+
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    rows.reserve(assignments.size());
+    targets.reserve(assignments.size());
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        rows.push_back(extract_features(chain, assignments[i]).values);
+        targets.push_back(stats::mean(measurements.samples(i)));
+    }
+    regressor_.fit(rows, targets, config_.ridge_lambda);
+}
+
+double PerformancePredictor::predict_seconds(
+    const workloads::TaskChain& chain,
+    const workloads::DeviceAssignment& assignment) const {
+    return regressor_.predict(extract_features(chain, assignment).values);
+}
+
+core::Ordering PerformancePredictor::compare(
+    const workloads::TaskChain& chain, const workloads::DeviceAssignment& a,
+    const workloads::DeviceAssignment& b) const {
+    const double ta = predict_seconds(chain, a);
+    const double tb = predict_seconds(chain, b);
+    const double band =
+        config_.tie_epsilon * std::min(std::fabs(ta), std::fabs(tb));
+    if (std::fabs(ta - tb) <= band) return core::Ordering::Equivalent;
+    return ta < tb ? core::Ordering::Better : core::Ordering::Worse;
+}
+
+core::RankedSequence PerformancePredictor::rank(
+    const workloads::TaskChain& chain,
+    const std::vector<workloads::DeviceAssignment>& assignments) const {
+    RELPERF_REQUIRE(!assignments.empty(), "PerformancePredictor: empty set");
+    const core::ThreeWaySorter sorter([&](std::size_t a, std::size_t b) {
+        return compare(chain, assignments[a], assignments[b]);
+    });
+    return sorter.sort(assignments.size());
+}
+
+PredictionEval evaluate_predictor(
+    const PerformancePredictor& predictor, const workloads::TaskChain& chain,
+    const std::vector<workloads::DeviceAssignment>& assignments,
+    const core::MeasurementSet& measurements, const core::Clustering& clustering) {
+    RELPERF_REQUIRE(assignments.size() == measurements.size(),
+                    "evaluate_predictor: assignments/measurements mismatch");
+    RELPERF_REQUIRE(assignments.size() >= 2,
+                    "evaluate_predictor: need at least two assignments");
+
+    std::vector<double> measured;
+    std::vector<double> predicted;
+    double rel_error = 0.0;
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        measured.push_back(stats::mean(measurements.samples(i)));
+        predicted.push_back(predictor.predict_seconds(chain, assignments[i]));
+        rel_error += std::fabs(predicted[i] - measured[i]) / measured[i];
+    }
+
+    PredictionEval eval;
+    eval.kendall_tau = stats::kendall_tau_b(predicted, measured);
+    eval.spearman_rho = stats::spearman_rho(predicted, measured);
+    eval.pairwise_disagreement = stats::pairwise_disagreement(measured, predicted);
+    eval.mean_abs_rel_error = rel_error / static_cast<double>(assignments.size());
+
+    const core::RankedSequence predicted_ranks =
+        predictor.rank(chain, assignments);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        if (predicted_ranks.rank_of(i) == clustering.final_rank(i)) ++agree;
+    }
+    eval.rank_agreement =
+        static_cast<double>(agree) / static_cast<double>(assignments.size());
+    return eval;
+}
+
+} // namespace relperf::model

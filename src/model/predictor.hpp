@@ -1,0 +1,81 @@
+#pragma once
+//! \file predictor.hpp
+//! Execution-less relative-performance prediction — the paper's Sec. V
+//! outlook made concrete: train on the measured subset (clusters as ground
+//! truth), predict the performance class of assignments that were never
+//! executed.
+//!
+//! The predictor regresses mean execution time on the structural features of
+//! (chain, assignment) and converts predicted times back into three-way
+//! comparisons and ranked classes with a relative tie band (mirroring the
+//! measured comparator's equivalence semantics).
+
+#include "core/clustering.hpp"
+#include "core/measurement.hpp"
+#include "model/features.hpp"
+#include "model/ridge.hpp"
+#include "workloads/chain.hpp"
+
+namespace relperf::model {
+
+/// Configuration of the predictor.
+struct PredictorConfig {
+    double ridge_lambda = 1e-3; ///< L2 penalty (standardized feature space).
+    double tie_epsilon = 0.02;  ///< Relative band for predicted equivalence.
+};
+
+class PerformancePredictor {
+public:
+    explicit PerformancePredictor(PredictorConfig config = {});
+
+    /// Trains on measured assignments: targets are the sample means of each
+    /// algorithm's distribution.
+    void fit(const workloads::TaskChain& chain,
+             const std::vector<workloads::DeviceAssignment>& assignments,
+             const core::MeasurementSet& measurements);
+
+    /// Predicted mean execution time of an (unseen) assignment.
+    [[nodiscard]] double predict_seconds(const workloads::TaskChain& chain,
+                                         const workloads::DeviceAssignment& assignment) const;
+
+    /// Predicted three-way comparison (Better = `a` faster), using the tie
+    /// band on predicted times.
+    [[nodiscard]] core::Ordering compare(const workloads::TaskChain& chain,
+                                         const workloads::DeviceAssignment& a,
+                                         const workloads::DeviceAssignment& b) const;
+
+    /// Predicted ranked sequence (performance classes) over a set of
+    /// assignments, via the paper's three-way sort driven by predicted
+    /// comparisons.
+    [[nodiscard]] core::RankedSequence rank(
+        const workloads::TaskChain& chain,
+        const std::vector<workloads::DeviceAssignment>& assignments) const;
+
+    [[nodiscard]] bool is_fitted() const noexcept { return regressor_.is_fitted(); }
+    [[nodiscard]] const RidgeRegressor& regressor() const noexcept {
+        return regressor_;
+    }
+
+private:
+    PredictorConfig config_;
+    RidgeRegressor regressor_;
+};
+
+/// Goodness of the predicted ordering against measured data.
+struct PredictionEval {
+    double kendall_tau = 0.0;          ///< Predicted vs measured mean times.
+    double spearman_rho = 0.0;
+    double pairwise_disagreement = 0.0;///< Fraction of flipped strict pairs.
+    double mean_abs_rel_error = 0.0;   ///< |pred - meas| / meas, averaged.
+    double rank_agreement = 0.0;       ///< Fraction with predicted class ==
+                                       ///< measured final class.
+};
+
+/// Evaluates a fitted predictor on (typically held-out) measured assignments
+/// whose measured clustering is available.
+[[nodiscard]] PredictionEval evaluate_predictor(
+    const PerformancePredictor& predictor, const workloads::TaskChain& chain,
+    const std::vector<workloads::DeviceAssignment>& assignments,
+    const core::MeasurementSet& measurements, const core::Clustering& clustering);
+
+} // namespace relperf::model

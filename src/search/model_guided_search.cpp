@@ -1,0 +1,124 @@
+#include "search/model_guided_search.hpp"
+
+#include "core/bootstrap_comparator.hpp"
+#include "stats/descriptive.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace relperf::search {
+
+void SearchConfig::validate() const {
+    RELPERF_REQUIRE(initial_samples >= 2,
+                    "SearchConfig: need at least two initial samples");
+    RELPERF_REQUIRE(batch_size >= 1, "SearchConfig: batch size must be >= 1");
+    RELPERF_REQUIRE(explore_fraction >= 0.0 && explore_fraction <= 1.0,
+                    "SearchConfig: explore fraction must be in [0, 1]");
+    RELPERF_REQUIRE(measurements_per_alg >= 2,
+                    "SearchConfig: need at least two measurements per algorithm");
+}
+
+ModelGuidedSearch::ModelGuidedSearch(const sim::SimulatedExecutor& executor,
+                                     const workloads::TaskChain& chain,
+                                     SearchConfig config)
+    : executor_(executor), chain_(chain), config_(config) {
+    config_.validate();
+    RELPERF_REQUIRE(chain_.size() >= 1 && chain_.size() < 20,
+                    "ModelGuidedSearch: chain length out of range");
+}
+
+SearchResult ModelGuidedSearch::run() const {
+    const std::vector<workloads::DeviceAssignment> space =
+        workloads::enumerate_assignments(chain_.size());
+
+    stats::Rng rng(config_.seed);
+    stats::Rng measure_rng = rng.child(1);
+
+    std::vector<bool> measured(space.size(), false);
+    std::vector<workloads::DeviceAssignment> measured_assignments;
+    core::MeasurementSet measurements;
+    std::vector<double> measured_means;
+
+    const auto measure_candidate = [&](std::size_t index) {
+        if (measured[index]) return;
+        measured[index] = true;
+        std::vector<double> samples = executor_.measure(
+            chain_, space[index], config_.measurements_per_alg, measure_rng);
+        measured_means.push_back(stats::mean(samples));
+        measurements.add(space[index].alg_name(), std::move(samples));
+        measured_assignments.push_back(space[index]);
+    };
+
+    // Phase 1: random subset.
+    {
+        std::vector<std::size_t> order(space.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        rng.shuffle(order);
+        const std::size_t initial =
+            std::min(config_.initial_samples, space.size());
+        for (std::size_t i = 0; i < initial; ++i) measure_candidate(order[i]);
+    }
+
+    // Phase 2: fit / predict / measure the most promising batch.
+    model::PerformancePredictor predictor(config_.predictor);
+    for (std::size_t round = 0; round < config_.refinement_rounds; ++round) {
+        predictor.fit(chain_, measured_assignments, measurements);
+
+        std::vector<std::size_t> unmeasured;
+        for (std::size_t i = 0; i < space.size(); ++i) {
+            if (!measured[i]) unmeasured.push_back(i);
+        }
+        if (unmeasured.empty()) break;
+
+        std::sort(unmeasured.begin(), unmeasured.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return predictor.predict_seconds(chain_, space[a]) <
+                             predictor.predict_seconds(chain_, space[b]);
+                  });
+
+        const std::size_t batch = std::min(config_.batch_size, unmeasured.size());
+        const auto explore = static_cast<std::size_t>(
+            std::floor(config_.explore_fraction * static_cast<double>(batch)));
+        const std::size_t exploit = batch - explore;
+
+        // Exploit: best predicted candidates.
+        for (std::size_t i = 0; i < exploit; ++i) measure_candidate(unmeasured[i]);
+        // Explore: random unmeasured candidates (keeps the model honest).
+        for (std::size_t i = 0; i < explore; ++i) {
+            const std::size_t pick =
+                exploit +
+                static_cast<std::size_t>(rng.uniform_index(unmeasured.size() - exploit));
+            measure_candidate(unmeasured[pick]);
+        }
+    }
+    predictor.fit(chain_, measured_assignments, measurements);
+
+    // Phase 3: cluster the measured subset with the paper methodology.
+    const core::BootstrapComparator comparator;
+    const core::RelativeClusterer clusterer(comparator, config_.clustering);
+
+    SearchResult result;
+    result.space_size = space.size();
+    result.measured_count = measured_assignments.size();
+    result.clustering = clusterer.cluster(measurements);
+
+    std::size_t best_index = 0;
+    double best_mean = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < measured_means.size(); ++i) {
+        if (measured_means[i] < best_mean) {
+            best_mean = measured_means[i];
+            best_index = i;
+        }
+    }
+    result.best = measured_assignments[best_index];
+    result.best_measured_mean = best_mean;
+    result.measurements = std::move(measurements);
+    result.measured_assignments = std::move(measured_assignments);
+    result.predictor = std::move(predictor);
+    return result;
+}
+
+} // namespace relperf::search

@@ -1,0 +1,77 @@
+#pragma once
+//! \file model_guided_search.hpp
+//! Subset-based exploration of exponential assignment spaces — the paper's
+//! Sec. V outlook: "in case of exponential explosion of the search space,
+//! our methodology can still be applied on a subset of possible solutions
+//! and the resulting clusters ... can be used as a ground truth to guide the
+//! search".
+//!
+//! Strategy (measure-fit-predict-refine):
+//!   1. measure a random subset of assignments (N runs each);
+//!   2. fit the execution-less PerformancePredictor on the measured subset;
+//!   3. predict every unmeasured assignment, measure the most promising
+//!      batch (plus epsilon-greedy exploration);
+//!   4. repeat; finally cluster the *measured* assignments with the paper's
+//!      methodology and report the best class.
+
+#include "core/clustering.hpp"
+#include "core/pipeline.hpp"
+#include "model/predictor.hpp"
+#include "sim/executor.hpp"
+#include "workloads/chain.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relperf::search {
+
+struct SearchConfig {
+    std::size_t initial_samples = 12;   ///< Random assignments measured first.
+    std::size_t refinement_rounds = 3;  ///< Fit/predict/measure iterations.
+    std::size_t batch_size = 6;         ///< Assignments measured per round.
+    double explore_fraction = 0.25;     ///< Portion of each batch drawn randomly.
+    std::size_t measurements_per_alg = 15; ///< N per measured assignment.
+    model::PredictorConfig predictor;   ///< Ridge + tie-band knobs.
+    core::ClustererConfig clustering;   ///< Final clustering of the subset.
+    std::uint64_t seed = 0xBEEF;
+
+    void validate() const;
+};
+
+/// Outcome of one search.
+struct SearchResult {
+    workloads::DeviceAssignment best{"D"}; ///< Best measured assignment.
+    double best_measured_mean = 0.0;   ///< Its measured mean seconds.
+    std::size_t space_size = 0;        ///< 2^k candidates in total.
+    std::size_t measured_count = 0;    ///< Assignments actually executed.
+    core::MeasurementSet measurements; ///< All measured distributions.
+    std::vector<workloads::DeviceAssignment> measured_assignments;
+    core::Clustering clustering;       ///< Paper clustering of the subset.
+    model::PerformancePredictor predictor; ///< Final fitted model.
+
+    /// Fraction of the space that was executed.
+    [[nodiscard]] double measured_fraction() const noexcept {
+        return space_size == 0
+                   ? 0.0
+                   : static_cast<double>(measured_count) /
+                         static_cast<double>(space_size);
+    }
+};
+
+/// Runs the model-guided search over all 2^k assignments of `chain` on the
+/// given simulated executor.
+class ModelGuidedSearch {
+public:
+    ModelGuidedSearch(const sim::SimulatedExecutor& executor,
+                      const workloads::TaskChain& chain, SearchConfig config);
+
+    [[nodiscard]] SearchResult run() const;
+
+private:
+    const sim::SimulatedExecutor& executor_;
+    const workloads::TaskChain& chain_;
+    SearchConfig config_;
+};
+
+} // namespace relperf::search

@@ -1,0 +1,56 @@
+#include "sim/analytic.hpp"
+
+#include "support/error.hpp"
+
+namespace relperf::sim {
+
+using workloads::Placement;
+using workloads::TaskCost;
+
+AnalyticCostModel::AnalyticCostModel(Platform platform)
+    : platform_(std::move(platform)) {
+    platform_.validate();
+}
+
+TaskTimeParts AnalyticCostModel::task_parts(const workloads::TaskChain& chain,
+                                            std::size_t index, Placement p,
+                                            Placement prev) const {
+    RELPERF_REQUIRE(index < chain.size(), "AnalyticCostModel: task index out of range");
+    const workloads::TaskSpec& spec = chain.tasks[index];
+    const TaskCost cost = workloads::task_cost(spec);
+    const DeviceSpec& dev =
+        p == Placement::Device ? platform_.device : platform_.accelerator;
+
+    TaskTimeParts parts;
+    const double rate =
+        dev.peak_gflops * 1e9 * dev.efficiency.at(static_cast<double>(spec.size));
+    parts.compute_s = cost.flops / rate + cost.op_launches * dev.dispatch_overhead_s;
+
+    if (p == Placement::Accelerator) {
+        // Remote execution streams the task's input/output footprint across
+        // the link regardless of the predecessor (the data home is the edge
+        // device), plus one extra round-trip when the chain switches devices.
+        parts.staging_s =
+            platform_.link.transfer_seconds(cost.bytes_in) +
+            platform_.link.transfer_seconds(cost.bytes_out);
+        if (prev == Placement::Device) {
+            parts.staging_s += 2.0 * platform_.link.latency_s;
+        }
+    } else if (prev == Placement::Accelerator) {
+        // Returning to the device: one control round-trip.
+        parts.staging_s = 2.0 * platform_.link.latency_s;
+    }
+    return parts;
+}
+
+double AnalyticCostModel::exit_seconds(const workloads::TaskChain& chain,
+                                       Placement last) const {
+    (void)chain;
+    return last == Placement::Accelerator ? 2.0 * platform_.link.latency_s : 0.0;
+}
+
+std::string AnalyticCostModel::name() const {
+    return "analytic(" + platform_.name + ")";
+}
+
+} // namespace relperf::sim

@@ -1,0 +1,33 @@
+#pragma once
+//! \file analytic.hpp
+//! First-principles cost model: derives task times from a Platform
+//! description (peak rates, efficiency curves, dispatch overheads, link
+//! bandwidth/latency) and the workload footprint (task_cost). Used for the
+//! non-paper platforms (Raspberry Pi, smartphone, ...) and the platform-sweep
+//! ablation; the paper experiments use the CalibratedProfile instead.
+
+#include "sim/cost_model.hpp"
+#include "sim/spec.hpp"
+
+namespace relperf::sim {
+
+class AnalyticCostModel final : public CostModel {
+public:
+    explicit AnalyticCostModel(Platform platform);
+
+    [[nodiscard]] TaskTimeParts task_parts(const workloads::TaskChain& chain,
+                                           std::size_t index, workloads::Placement p,
+                                           workloads::Placement prev) const override;
+
+    [[nodiscard]] double exit_seconds(const workloads::TaskChain& chain,
+                                      workloads::Placement last) const override;
+
+    [[nodiscard]] std::string name() const override;
+
+    [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
+
+private:
+    Platform platform_;
+};
+
+} // namespace relperf::sim

@@ -1,0 +1,32 @@
+#include "sim/energy.hpp"
+
+#include "support/error.hpp"
+
+namespace relperf::sim {
+
+EnergyModel::EnergyModel(Platform platform) : platform_(std::move(platform)) {
+    platform_.validate();
+}
+
+EnergyBreakdown EnergyModel::energy(const TimeBreakdown& time) const {
+    RELPERF_REQUIRE(time.total_s >= 0.0, "EnergyModel: negative run time");
+    RELPERF_REQUIRE(time.device_busy_s <= time.total_s &&
+                        time.accelerator_busy_s <= time.total_s &&
+                        time.link_busy_s <= time.total_s,
+                    "EnergyModel: component busy time exceeds total");
+
+    const auto component = [&](double idle_w, double active_w, double busy_s) {
+        return idle_w * time.total_s + (active_w - idle_w) * busy_s;
+    };
+
+    EnergyBreakdown e;
+    e.device_j = component(platform_.device.idle_watts,
+                           platform_.device.active_watts, time.device_busy_s);
+    e.accelerator_j =
+        component(platform_.accelerator.idle_watts,
+                  platform_.accelerator.active_watts, time.accelerator_busy_s);
+    e.link_j = component(0.0, platform_.link.active_watts, time.link_busy_s);
+    return e;
+}
+
+} // namespace relperf::sim

@@ -1,0 +1,46 @@
+#pragma once
+//! \file energy.hpp
+//! Energy accounting for the Section IV selection criteria: given the time
+//! breakdown of a run and a Platform's wattages, computes per-component
+//! joules. The paper uses FLOPs-on-device as an energy proxy; the model here
+//! additionally provides physical joules so decision policies can be tested
+//! against both criteria.
+
+#include "sim/executor.hpp"
+#include "sim/spec.hpp"
+
+namespace relperf::sim {
+
+/// Joules attributed to each platform component for one run.
+struct EnergyBreakdown {
+    double device_j = 0.0;
+    double accelerator_j = 0.0;
+    double link_j = 0.0;
+
+    [[nodiscard]] double total() const noexcept {
+        return device_j + accelerator_j + link_j;
+    }
+};
+
+/// Maps TimeBreakdowns to joules using active/idle wattages: every component
+/// draws idle power for the whole run and the active-minus-idle delta while
+/// busy.
+class EnergyModel {
+public:
+    explicit EnergyModel(Platform platform);
+
+    [[nodiscard]] EnergyBreakdown energy(const TimeBreakdown& time) const;
+
+    /// Energy of the edge device only — the quantity the paper's
+    /// energy-constrained switching policy monitors.
+    [[nodiscard]] double device_energy(const TimeBreakdown& time) const {
+        return energy(time).device_j;
+    }
+
+    [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
+
+private:
+    Platform platform_;
+};
+
+} // namespace relperf::sim

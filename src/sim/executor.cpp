@@ -1,0 +1,77 @@
+#include "sim/executor.hpp"
+
+#include "support/error.hpp"
+
+namespace relperf::sim {
+
+using workloads::Placement;
+
+SimulatedExecutor::SimulatedExecutor(const CostModel& model, NoiseModel noise)
+    : model_(model), noise_(noise) {
+    noise_.validate();
+}
+
+TimeBreakdown SimulatedExecutor::simulate(const workloads::TaskChain& chain,
+                                          const workloads::DeviceAssignment& assignment,
+                                          stats::Rng* rng) const {
+    RELPERF_REQUIRE(chain.size() == assignment.size(),
+                    "SimulatedExecutor: assignment length must match chain length");
+
+    const auto perturb = [&](double mean) {
+        if (rng == nullptr || mean == 0.0) return mean;
+        return mean * noise_.sample_factor(*rng);
+    };
+
+    TimeBreakdown out;
+    Placement prev = Placement::Device; // chains are invoked from the edge
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        const Placement p = assignment.at(i);
+        const TaskTimeParts parts = model_.task_parts(chain, i, p, prev);
+        const double compute = perturb(parts.compute_s);
+        const double staging = perturb(parts.staging_s);
+        if (p == Placement::Device) {
+            out.device_busy_s += compute;
+        } else {
+            out.accelerator_busy_s += compute;
+        }
+        out.link_busy_s += staging;
+        out.total_s += compute + staging;
+        prev = p;
+    }
+    const double exit_cost = perturb(model_.exit_seconds(chain, prev));
+    out.link_busy_s += exit_cost;
+    out.total_s += exit_cost;
+    return out;
+}
+
+TimeBreakdown SimulatedExecutor::run_once(const workloads::TaskChain& chain,
+                                          const workloads::DeviceAssignment& assignment,
+                                          stats::Rng& rng) const {
+    return simulate(chain, assignment, &rng);
+}
+
+std::vector<double> SimulatedExecutor::measure(const workloads::TaskChain& chain,
+                                               const workloads::DeviceAssignment& assignment,
+                                               std::size_t n, stats::Rng& rng) const {
+    RELPERF_REQUIRE(n > 0, "SimulatedExecutor: need at least one measurement");
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        samples.push_back(run_once(chain, assignment, rng).total_s);
+    }
+    return samples;
+}
+
+double SimulatedExecutor::expected_seconds(
+    const workloads::TaskChain& chain,
+    const workloads::DeviceAssignment& assignment) const {
+    return simulate(chain, assignment, nullptr).total_s;
+}
+
+TimeBreakdown SimulatedExecutor::expected_breakdown(
+    const workloads::TaskChain& chain,
+    const workloads::DeviceAssignment& assignment) const {
+    return simulate(chain, assignment, nullptr);
+}
+
+} // namespace relperf::sim

@@ -1,0 +1,27 @@
+#include "sim/noise.hpp"
+
+#include "support/error.hpp"
+
+namespace relperf::sim {
+
+void NoiseModel::validate() const {
+    RELPERF_REQUIRE(sigma_log >= 0.0, "NoiseModel: sigma_log must be >= 0");
+    RELPERF_REQUIRE(spike_prob >= 0.0 && spike_prob <= 1.0,
+                    "NoiseModel: spike_prob must be in [0,1]");
+    RELPERF_REQUIRE(spike_scale >= 0.0, "NoiseModel: spike_scale must be >= 0");
+    RELPERF_REQUIRE(spike_tail > 1.0, "NoiseModel: spike_tail must exceed 1");
+}
+
+double NoiseModel::sample_factor(stats::Rng& rng) const {
+    double factor = 1.0;
+    if (sigma_log > 0.0) {
+        factor = rng.lognormal(-0.5 * sigma_log * sigma_log, sigma_log);
+    }
+    if (spike_prob > 0.0 && rng.bernoulli(spike_prob)) {
+        // pareto(1, tail) - 1 >= 0; scaled to a fraction of the mean cost.
+        factor += spike_scale * (rng.pareto(1.0, spike_tail) - 1.0);
+    }
+    return factor;
+}
+
+} // namespace relperf::sim

@@ -1,0 +1,38 @@
+#pragma once
+//! \file noise.hpp
+//! Stochastic measurement noise. The paper's methodology exists *because*
+//! repeated measurements fluctuate (Sec. I, refs [2]-[5]); the simulator
+//! therefore perturbs every deterministic cost component with a mean-one
+//! multiplicative lognormal body plus occasional heavy-tailed latency spikes
+//! (OS jitter, SMIs, network retries).
+
+#include "stats/rng.hpp"
+
+namespace relperf::sim {
+
+/// Multiplicative noise model applied independently to each cost component.
+struct NoiseModel {
+    /// Lognormal sigma of the noise body (relative fluctuation, ~8 % default).
+    double sigma_log = 0.08;
+    /// Probability that a component suffers a latency spike.
+    double spike_prob = 0.02;
+    /// Spike magnitude as a fraction of the component mean.
+    double spike_scale = 0.25;
+    /// Pareto tail exponent of spike magnitudes (must be > 1).
+    double spike_tail = 2.5;
+
+    /// Draws one multiplicative factor. The lognormal body has mean exactly 1
+    /// (mu = -sigma^2/2); spikes add positive skew with expected inflation
+    /// spike_prob * spike_scale / (spike_tail - 1).
+    [[nodiscard]] double sample_factor(stats::Rng& rng) const;
+
+    /// Noise-free model (for deterministic expectations in tests).
+    [[nodiscard]] static NoiseModel none() noexcept {
+        return NoiseModel{0.0, 0.0, 0.0, 2.5};
+    }
+
+    /// Throws InvalidArgument when parameters are out of range.
+    void validate() const;
+};
+
+} // namespace relperf::sim

@@ -1,0 +1,148 @@
+#include "stats/descriptive.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace relperf::stats {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept {
+    return std::sqrt(variance());
+}
+
+double mean(std::span<const double> sample) {
+    RELPERF_REQUIRE(!sample.empty(), "mean: empty sample");
+    RunningStats acc;
+    for (const double x : sample) acc.add(x);
+    return acc.mean();
+}
+
+double variance(std::span<const double> sample) {
+    RELPERF_REQUIRE(!sample.empty(), "variance: empty sample");
+    RunningStats acc;
+    for (const double x : sample) acc.add(x);
+    return acc.variance();
+}
+
+double stddev(std::span<const double> sample) {
+    return std::sqrt(variance(sample));
+}
+
+std::vector<double> sorted_copy(std::span<const double> sample) {
+    std::vector<double> out(sample.begin(), sample.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool is_sorted_ascending(std::span<const double> values) noexcept {
+    return std::is_sorted(values.begin(), values.end());
+}
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+    RELPERF_REQUIRE(!sorted.empty(), "quantile_sorted: empty sample");
+    RELPERF_REQUIRE(p >= 0.0 && p <= 1.0, "quantile_sorted: p must be in [0,1]");
+    RELPERF_REQUIRE(is_sorted_ascending(sorted), "quantile_sorted: data not sorted");
+    if (sorted.size() == 1) return sorted[0];
+    const double h = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(h);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> sample, double p) {
+    const std::vector<double> sorted = sorted_copy(sample);
+    return quantile_sorted(sorted, p);
+}
+
+double median(std::span<const double> sample) {
+    return quantile(sample, 0.5);
+}
+
+double mad(std::span<const double> sample) {
+    RELPERF_REQUIRE(!sample.empty(), "mad: empty sample");
+    const double med = median(sample);
+    std::vector<double> dev;
+    dev.reserve(sample.size());
+    for (const double x : sample) dev.push_back(std::fabs(x - med));
+    // 1.4826 makes MAD a consistent sigma estimator for the normal.
+    return 1.4826 * median(dev);
+}
+
+double trimmed_mean(std::span<const double> sample, double trim) {
+    RELPERF_REQUIRE(!sample.empty(), "trimmed_mean: empty sample");
+    RELPERF_REQUIRE(trim >= 0.0 && trim < 0.5, "trimmed_mean: trim must be in [0, 0.5)");
+    const std::vector<double> sorted = sorted_copy(sample);
+    const auto cut = static_cast<std::size_t>(trim * static_cast<double>(sorted.size()));
+    RELPERF_ASSERT(2 * cut < sorted.size(), "trimmed_mean: trim removed everything");
+    RunningStats acc;
+    for (std::size_t i = cut; i < sorted.size() - cut; ++i) acc.add(sorted[i]);
+    return acc.mean();
+}
+
+double geometric_mean(std::span<const double> sample) {
+    RELPERF_REQUIRE(!sample.empty(), "geometric_mean: empty sample");
+    double log_sum = 0.0;
+    for (const double x : sample) {
+        RELPERF_REQUIRE(x > 0.0, "geometric_mean: values must be positive");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+Summary summarize(std::span<const double> sample) {
+    RELPERF_REQUIRE(!sample.empty(), "summarize: empty sample");
+    const std::vector<double> sorted = sorted_copy(sample);
+    RunningStats acc;
+    for (const double x : sorted) acc.add(x);
+
+    Summary s;
+    s.count = acc.count();
+    s.mean = acc.mean();
+    s.stddev = acc.stddev();
+    s.min = acc.min();
+    s.max = acc.max();
+    s.q25 = quantile_sorted(sorted, 0.25);
+    s.median = quantile_sorted(sorted, 0.50);
+    s.q75 = quantile_sorted(sorted, 0.75);
+    s.cv = s.mean != 0.0 ? s.stddev / s.mean : 0.0;
+    return s;
+}
+
+} // namespace relperf::stats

@@ -1,0 +1,59 @@
+#include "stats/ecdf.hpp"
+
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relperf::stats {
+
+EmpiricalDistribution::EmpiricalDistribution(std::span<const double> sample)
+    : sorted_(sorted_copy(sample)) {
+    RELPERF_REQUIRE(!sorted_.empty(), "EmpiricalDistribution: empty sample");
+}
+
+double EmpiricalDistribution::quantile(double p) const {
+    return quantile_sorted(sorted_, p);
+}
+
+double EmpiricalDistribution::cdf(double x) const noexcept {
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::prob_less_than(const EmpiricalDistribution& other) const noexcept {
+    // Two-pointer merge: counts pairs (x, y) with x < y and ties at half
+    // weight, in O(n + m) over the sorted arrays.
+    const std::vector<double>& xs = sorted_;
+    const std::vector<double>& ys = other.sorted_;
+    double wins = 0.0;
+    std::size_t xi = 0;
+    for (const double y : ys) {
+        while (xi < xs.size() && xs[xi] < y) ++xi;
+        // xs[0..xi) < y
+        std::size_t tie_hi = xi;
+        while (tie_hi < xs.size() && xs[tie_hi] == y) ++tie_hi;
+        wins += static_cast<double>(xi) + 0.5 * static_cast<double>(tie_hi - xi);
+    }
+    return wins / (static_cast<double>(xs.size()) * static_cast<double>(ys.size()));
+}
+
+double EmpiricalDistribution::overlap(const EmpiricalDistribution& other,
+                                      std::size_t bins) const {
+    RELPERF_REQUIRE(bins > 0, "overlap: need at least one bin");
+    const double lo = std::min(min(), other.min());
+    double hi = std::max(max(), other.max());
+    if (hi == lo) return 1.0; // both samples are a single identical point
+    const Histogram ha(sorted_, lo, hi, bins);
+    const Histogram hb(other.sorted_, lo, hi, bins);
+    double acc = 0.0;
+    for (std::size_t b = 0; b < bins; ++b) {
+        acc += std::min(ha.density(b), hb.density(b));
+    }
+    return acc;
+}
+
+} // namespace relperf::stats

@@ -1,0 +1,43 @@
+#pragma once
+//! \file ecdf.hpp
+//! Empirical distribution wrapper: a sample sorted once, with cheap quantile
+//! and ECDF evaluation plus distribution-overlap measures. The bootstrap
+//! comparator and the report module both operate on EmpiricalDistribution.
+
+#include <span>
+#include <vector>
+
+namespace relperf::stats {
+
+/// Immutable sorted view over one sample of measurements.
+class EmpiricalDistribution {
+public:
+    /// Copies and sorts the sample. Throws InvalidArgument on empty input.
+    explicit EmpiricalDistribution(std::span<const double> sample);
+
+    [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+    [[nodiscard]] const std::vector<double>& sorted() const noexcept { return sorted_; }
+    [[nodiscard]] double min() const noexcept { return sorted_.front(); }
+    [[nodiscard]] double max() const noexcept { return sorted_.back(); }
+
+    /// Type-7 quantile, p in [0,1].
+    [[nodiscard]] double quantile(double p) const;
+
+    /// ECDF: fraction of sample values <= x.
+    [[nodiscard]] double cdf(double x) const noexcept;
+
+    /// P(X < y_rand) + 0.5 P(X == y_rand): probability that a random draw of
+    /// this distribution is smaller than a random draw of `other`
+    /// (the common-language effect size; 0.5 means indistinguishable).
+    [[nodiscard]] double prob_less_than(const EmpiricalDistribution& other) const noexcept;
+
+    /// Overlap coefficient in [0,1], computed from histograms with a shared
+    /// axis: sum_b min(density_a(b), density_b(b)). 1 = identical supports.
+    [[nodiscard]] double overlap(const EmpiricalDistribution& other,
+                                 std::size_t bins = 64) const;
+
+private:
+    std::vector<double> sorted_;
+};
+
+} // namespace relperf::stats

@@ -1,0 +1,115 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+
+namespace relperf::stats {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+}
+
+Xoshiro256pp::result_type Xoshiro256pp::operator()() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+void Xoshiro256pp::jump() noexcept {
+    static constexpr std::uint64_t kJump[] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t jump_word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (jump_word & (std::uint64_t{1} << b)) {
+                s0 ^= s_[0];
+                s1 ^= s_[1];
+                s2 ^= s_[2];
+                s3 ^= s_[3];
+            }
+            (void)(*this)();
+        }
+    }
+    s_ = {s0, s1, s2, s3};
+}
+
+Rng Rng::child(std::uint64_t stream) const noexcept {
+    SplitMix64 sm(seed_ ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+    return Rng(sm.next());
+}
+
+double Rng::uniform() noexcept {
+    // Top 53 bits -> double in [0, 1).
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    // Lemire's nearly-divisionless method with rejection.
+    std::uint64_t x = gen_();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+        const std::uint64_t threshold = (0 - n) % n;
+        while (l < threshold) {
+            x = gen_();
+            m = static_cast<__uint128_t>(x) * n;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box–Muller; u1 in (0,1] to avoid log(0).
+    double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cached_normal_ = radius * std::sin(angle);
+    has_cached_normal_ = true;
+    return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu_log, double sigma_log) noexcept {
+    return std::exp(normal(mu_log, sigma_log));
+}
+
+double Rng::exponential(double lambda) noexcept {
+    return -std::log(1.0 - uniform()) / lambda;
+}
+
+double Rng::pareto(double x_m, double alpha) noexcept {
+    return x_m / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+    return uniform() < p;
+}
+
+} // namespace relperf::stats

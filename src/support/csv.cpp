@@ -1,0 +1,62 @@
+#include "support/csv.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace relperf::support {
+
+std::string csv_escape(const std::string& field) {
+    const bool needs_quote =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote) return field;
+    std::string out = "\"";
+    for (const char c : field) {
+        if (c == '"') out += "\"\"";
+        else out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+    RELPERF_REQUIRE(!header.empty(), "CsvWriter: header must be non-empty");
+    if (!out_) {
+        throw Error("CsvWriter: cannot open '" + path + "' for writing");
+    }
+    write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+    RELPERF_REQUIRE(row.size() == width_, "CsvWriter: row width mismatch");
+    write_row(row);
+}
+
+void CsvWriter::add_row_numeric(const std::string& key, const std::vector<double>& values) {
+    std::vector<std::string> row;
+    row.reserve(values.size() + 1);
+    row.push_back(key);
+    for (const double v : values) row.push_back(str::format("%.17g", v));
+    add_row(row);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i != 0) out_ << ',';
+        out_ << csv_escape(row[i]);
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::close() {
+    if (out_.is_open()) {
+        out_.flush();
+        out_.close();
+    }
+}
+
+CsvWriter::~CsvWriter() {
+    close();
+}
+
+} // namespace relperf::support

@@ -1,0 +1,23 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace relperf::detail {
+
+namespace {
+std::string decorate(const char* file, int line, const std::string& msg) {
+    std::ostringstream os;
+    os << msg << " [" << file << ':' << line << ']';
+    return os.str();
+}
+} // namespace
+
+void throw_invalid_argument(const char* file, int line, const std::string& msg) {
+    throw InvalidArgument(decorate(file, line, msg));
+}
+
+void throw_internal_error(const char* file, int line, const std::string& msg) {
+    throw InternalError(decorate(file, line, msg));
+}
+
+} // namespace relperf::detail

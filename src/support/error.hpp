@@ -1,0 +1,55 @@
+#pragma once
+//! \file error.hpp
+//! Error handling primitives shared by every relperf module.
+//!
+//! relperf reports *contract violations* (caller bugs) via
+//! `relperf::InvalidArgument` and *internal invariant breaks* via
+//! `relperf::InternalError`.  Both derive from `relperf::Error` so callers
+//! can catch the whole library with one handler.
+
+#include <stdexcept>
+#include <string>
+
+namespace relperf {
+
+/// Base class of every exception thrown by relperf.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A caller violated a documented precondition (bad size, empty sample, ...).
+class InvalidArgument : public Error {
+public:
+    explicit InvalidArgument(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// An internal invariant was violated; indicates a bug in relperf itself.
+class InternalError : public Error {
+public:
+    explicit InternalError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* file, int line, const std::string& msg);
+[[noreturn]] void throw_internal_error(const char* file, int line, const std::string& msg);
+} // namespace detail
+
+} // namespace relperf
+
+/// Precondition check: throws relperf::InvalidArgument when `cond` is false.
+/// Active in all build types — argument validation is part of the API contract.
+#define RELPERF_REQUIRE(cond, msg)                                                   \
+    do {                                                                             \
+        if (!(cond)) {                                                               \
+            ::relperf::detail::throw_invalid_argument(__FILE__, __LINE__, (msg));    \
+        }                                                                            \
+    } while (false)
+
+/// Internal invariant check: throws relperf::InternalError when `cond` is false.
+#define RELPERF_ASSERT(cond, msg)                                                    \
+    do {                                                                             \
+        if (!(cond)) {                                                               \
+            ::relperf::detail::throw_internal_error(__FILE__, __LINE__, (msg));      \
+        }                                                                            \
+    } while (false)

@@ -1,0 +1,94 @@
+#include "support/str.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace relperf::str {
+
+std::string format(const char* fmt, ...) {
+    std::va_list args;
+    va_start(args, fmt);
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return {};
+    }
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+std::string fixed(double value, int digits) {
+    return format("%.*f", digits, value);
+}
+
+std::string human_seconds(double seconds) {
+    const double mag = std::fabs(seconds);
+    if (mag >= 1.0) return format("%.3f s", seconds);
+    if (mag >= 1e-3) return format("%.3f ms", seconds * 1e3);
+    if (mag >= 1e-6) return format("%.3f us", seconds * 1e6);
+    return format("%.1f ns", seconds * 1e9);
+}
+
+std::string human_bytes(double bytes) {
+    static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int unit = 0;
+    while (std::fabs(bytes) >= 1024.0 && unit < 4) {
+        bytes /= 1024.0;
+        ++unit;
+    }
+    return format("%.2f %s", bytes, units[unit]);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out.append(sep);
+        out.append(parts[i]);
+    }
+    return out;
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (true) {
+        const std::size_t pos = text.find(sep, begin);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(begin));
+            return out;
+        }
+        out.emplace_back(text.substr(begin, pos - begin));
+        begin = pos + 1;
+    }
+}
+
+std::string_view trim(std::string_view text) {
+    const auto is_space = [](char c) {
+        return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+    };
+    while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+    while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+    return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+    if (text.size() >= width) return std::string(text);
+    return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+    if (text.size() >= width) return std::string(text);
+    return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+} // namespace relperf::str

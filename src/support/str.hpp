@@ -1,0 +1,49 @@
+#pragma once
+//! \file str.hpp
+//! Small string/formatting helpers (libstdc++ 12 has no std::format yet).
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relperf::str {
+
+/// printf-style formatting into a std::string.
+/// Only used with trusted format strings inside the library.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-point rendering of a double with `digits` decimals (no locale).
+[[nodiscard]] std::string fixed(double value, int digits);
+
+/// Compact human rendering of a duration in seconds ("12.3 ms", "4.56 s").
+[[nodiscard]] std::string human_seconds(double seconds);
+
+/// Compact human rendering of a byte count ("3.2 MiB").
+[[nodiscard]] std::string human_bytes(double bytes);
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Left/right padding to a minimum width (spaces).
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+/// Streams any << -able value into a string.
+template <typename T>
+[[nodiscard]] std::string to_string(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+}
+
+} // namespace relperf::str

@@ -1,0 +1,74 @@
+#include "support/table.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+#include <algorithm>
+
+namespace relperf::support {
+
+AsciiTable::AsciiTable(std::vector<std::string> header, std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+    RELPERF_REQUIRE(!header_.empty(), "AsciiTable: header must be non-empty");
+    if (aligns_.empty()) {
+        aligns_.assign(header_.size(), Align::Left);
+    }
+    RELPERF_REQUIRE(aligns_.size() == header_.size(),
+                    "AsciiTable: aligns must match header width");
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+    RELPERF_REQUIRE(row.size() == header_.size(),
+                    "AsciiTable: row width mismatch");
+    rows_.push_back(Row{std::move(row), false});
+}
+
+void AsciiTable::add_separator() {
+    rows_.push_back(Row{{}, true});
+}
+
+std::string AsciiTable::render() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const Row& row : rows_) {
+        if (row.separator) continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            widths[c] = std::max(widths[c], row.cells[c].size());
+        }
+    }
+
+    const auto rule = [&widths]() {
+        std::string line = "+";
+        for (const std::size_t w : widths) {
+            line += std::string(w + 2, '-');
+            line += '+';
+        }
+        line += '\n';
+        return line;
+    };
+
+    const auto emit_row = [&](const std::vector<std::string>& cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string padded = aligns_[c] == Align::Left
+                                           ? str::pad_right(cells[c], widths[c])
+                                           : str::pad_left(cells[c], widths[c]);
+            line += ' ';
+            line += padded;
+            line += " |";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = rule();
+    out += emit_row(header_);
+    out += rule();
+    for (const Row& row : rows_) {
+        out += row.separator ? rule() : emit_row(row.cells);
+    }
+    out += rule();
+    return out;
+}
+
+} // namespace relperf::support

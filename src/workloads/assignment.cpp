@@ -1,0 +1,79 @@
+#include "workloads/assignment.hpp"
+
+#include "support/error.hpp"
+
+namespace relperf::workloads {
+
+char to_char(Placement p) noexcept {
+    return static_cast<char>(p);
+}
+
+Placement placement_from_char(char c) {
+    RELPERF_REQUIRE(c == 'D' || c == 'A',
+                    std::string("placement_from_char: expected 'D' or 'A', got '") +
+                        c + "'");
+    return static_cast<Placement>(c);
+}
+
+DeviceAssignment::DeviceAssignment(const std::string& letters) {
+    RELPERF_REQUIRE(!letters.empty(), "DeviceAssignment: empty letter string");
+    placements_.reserve(letters.size());
+    for (const char c : letters) placements_.push_back(placement_from_char(c));
+}
+
+DeviceAssignment::DeviceAssignment(std::vector<Placement> placements)
+    : placements_(std::move(placements)) {
+    RELPERF_REQUIRE(!placements_.empty(), "DeviceAssignment: empty placement vector");
+}
+
+Placement DeviceAssignment::at(std::size_t task_index) const {
+    RELPERF_REQUIRE(task_index < placements_.size(),
+                    "DeviceAssignment: task index out of range");
+    return placements_[task_index];
+}
+
+std::string DeviceAssignment::str() const {
+    std::string s;
+    s.reserve(placements_.size());
+    for (const Placement p : placements_) s.push_back(to_char(p));
+    return s;
+}
+
+std::size_t DeviceAssignment::accelerator_count() const noexcept {
+    std::size_t n = 0;
+    for (const Placement p : placements_) {
+        if (p == Placement::Accelerator) ++n;
+    }
+    return n;
+}
+
+std::size_t DeviceAssignment::switch_count() const noexcept {
+    std::size_t switches = 0;
+    Placement prev = Placement::Device; // the chain is invoked from the edge
+    for (const Placement p : placements_) {
+        if (p != prev) ++switches;
+        prev = p;
+    }
+    return switches;
+}
+
+std::vector<DeviceAssignment> enumerate_assignments(std::size_t task_count) {
+    RELPERF_REQUIRE(task_count > 0, "enumerate_assignments: need at least one task");
+    RELPERF_REQUIRE(task_count < 20, "enumerate_assignments: 2^k would explode");
+    std::vector<DeviceAssignment> out;
+    const std::size_t total = std::size_t{1} << task_count;
+    out.reserve(total);
+    for (std::size_t mask = 0; mask < total; ++mask) {
+        std::vector<Placement> p(task_count, Placement::Device);
+        for (std::size_t bit = 0; bit < task_count; ++bit) {
+            // Most-significant task first so the order is DD, DA, AD, AA.
+            if (mask & (std::size_t{1} << (task_count - 1 - bit))) {
+                p[bit] = Placement::Accelerator;
+            }
+        }
+        out.emplace_back(std::move(p));
+    }
+    return out;
+}
+
+} // namespace relperf::workloads

@@ -1,0 +1,63 @@
+#pragma once
+//! \file assignment.hpp
+//! Device assignments — the paper's algorithm space. Each mathematically
+//! equivalent "algorithm" is one way of placing the tasks of a chain on the
+//! edge **D**evice or the **A**ccelerator, written as a letter string such as
+//! "DDA" (Table I) or "AD" (Figure 1a).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace relperf::workloads {
+
+/// Where a task runs.
+enum class Placement : char {
+    Device = 'D',      ///< Edge device (the data home; the code is invoked here).
+    Accelerator = 'A', ///< Offload target (GPU / server / ...).
+};
+
+[[nodiscard]] char to_char(Placement p) noexcept;
+[[nodiscard]] Placement placement_from_char(char c);
+
+/// Immutable placement vector with the paper's letter-string syntax.
+class DeviceAssignment {
+public:
+    /// Parses e.g. "DDA"; throws InvalidArgument on characters outside {D, A}
+    /// or on an empty string.
+    explicit DeviceAssignment(const std::string& letters);
+
+    explicit DeviceAssignment(std::vector<Placement> placements);
+
+    [[nodiscard]] std::size_t size() const noexcept { return placements_.size(); }
+    [[nodiscard]] Placement at(std::size_t task_index) const;
+    [[nodiscard]] const std::vector<Placement>& placements() const noexcept {
+        return placements_;
+    }
+
+    /// Letter string, e.g. "DDA".
+    [[nodiscard]] std::string str() const;
+
+    /// Paper-style algorithm name, e.g. "algDDA".
+    [[nodiscard]] std::string alg_name() const { return "alg" + str(); }
+
+    /// Number of tasks placed on the accelerator.
+    [[nodiscard]] std::size_t accelerator_count() const noexcept;
+
+    /// Number of device changes along the chain including the virtual start
+    /// on the Device (the code is invoked from the edge, paper Sec. I).
+    [[nodiscard]] std::size_t switch_count() const noexcept;
+
+    [[nodiscard]] bool operator==(const DeviceAssignment& other) const noexcept {
+        return placements_ == other.placements_;
+    }
+
+private:
+    std::vector<Placement> placements_;
+};
+
+/// All 2^k assignments for a k-task chain, in lexicographic order with
+/// D < A ("DD", "DA", "AD", "AA" for k = 2).
+[[nodiscard]] std::vector<DeviceAssignment> enumerate_assignments(std::size_t task_count);
+
+} // namespace relperf::workloads

@@ -1,0 +1,41 @@
+#pragma once
+//! \file mathtask.hpp
+//! Real (measured, not simulated) execution of the paper's loops.
+//!
+//! `run_rls_task` is a faithful implementation of Procedure 6:
+//!
+//!     MathTask(size, penalty):
+//!       for i = 1..n:
+//!         A, B <- random size x size
+//!         Z <- (AᵀA + penalty I)⁻¹ AᵀB
+//!         penalty <- ||A Z − B||₂
+//!       return penalty
+//!
+//! `run_gemm_task` is the Figure 1a loop body. Both execute on the host CPU
+//! via relperf_linalg; the RealExecutor (src/sim) wraps them with thread
+//! clamping and artificial dispatch delays to emulate heterogeneous devices
+//! (paper footnote 2).
+
+#include "linalg/matrix.hpp"
+#include "stats/rng.hpp"
+#include "workloads/chain.hpp"
+
+namespace relperf::workloads {
+
+/// Executes one RLS MathTask; returns the updated penalty.
+[[nodiscard]] double run_rls_task(std::size_t size, std::size_t iters, double penalty,
+                                  stats::Rng& rng);
+
+/// Executes one GEMM loop; returns a checksum-style scalar (Frobenius norm of
+/// the last product) so the work cannot be optimized away.
+[[nodiscard]] double run_gemm_task(std::size_t size, std::size_t iters,
+                                   stats::Rng& rng);
+
+/// Dispatches on `spec.kind`; returns the scalar carried to the next task.
+[[nodiscard]] double run_task(const TaskSpec& spec, double carry, stats::Rng& rng);
+
+/// Runs the whole chain on the calling thread (placements ignored); returns
+/// the final carried scalar. This is Procedure 5 without device splits.
+[[nodiscard]] double run_chain(const TaskChain& chain, stats::Rng& rng);
+
+} // namespace relperf::workloads

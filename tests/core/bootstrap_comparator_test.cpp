@@ -1,0 +1,165 @@
+#include "core/bootstrap_comparator.hpp"
+
+#include "stats/rng.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace core = relperf::core;
+using core::BootstrapComparator;
+using core::BootstrapComparatorConfig;
+using core::Ordering;
+using relperf::stats::Rng;
+
+namespace {
+
+std::vector<double> lognormal_sample(double median, double sigma, int n,
+                                     std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) out.push_back(median * rng.lognormal(0.0, sigma));
+    return out;
+}
+
+} // namespace
+
+TEST(BootstrapComparator, ClearlyFasterWins) {
+    const auto fast = lognormal_sample(1.0, 0.05, 50, 1);
+    const auto slow = lognormal_sample(2.0, 0.05, 50, 2);
+    const BootstrapComparator cmp;
+    Rng rng(3);
+    EXPECT_EQ(cmp.compare(fast, slow, rng), Ordering::Better);
+    EXPECT_EQ(cmp.compare(slow, fast, rng), Ordering::Worse);
+}
+
+TEST(BootstrapComparator, IdenticalSamplesAreEquivalent) {
+    const auto xs = lognormal_sample(1.0, 0.1, 60, 4);
+    const BootstrapComparator cmp;
+    Rng rng(5);
+    EXPECT_EQ(cmp.compare(xs, xs, rng), Ordering::Equivalent);
+}
+
+TEST(BootstrapComparator, HeavilyOverlappingSamplesAreEquivalent) {
+    // 0.3% median difference, 10% spread: far inside the tie band.
+    const auto a = lognormal_sample(1.000, 0.10, 100, 6);
+    const auto b = lognormal_sample(1.003, 0.10, 100, 7);
+    const BootstrapComparator cmp;
+    Rng rng(8);
+    EXPECT_EQ(cmp.compare(a, b, rng), Ordering::Equivalent);
+}
+
+TEST(BootstrapComparator, ScoreIsBoundedAndSigned) {
+    const auto fast = lognormal_sample(1.0, 0.05, 50, 9);
+    const auto slow = lognormal_sample(1.5, 0.05, 50, 10);
+    const BootstrapComparator cmp;
+    Rng rng(11);
+    const double s_fast = cmp.score(fast, slow, rng);
+    const double s_slow = cmp.score(slow, fast, rng);
+    EXPECT_GT(s_fast, 0.9);
+    EXPECT_LE(s_fast, 1.0);
+    EXPECT_LT(s_slow, -0.9);
+    EXPECT_GE(s_slow, -1.0);
+}
+
+TEST(BootstrapComparator, AntisymmetryProperty) {
+    // The two directions are evaluated with independent bootstrap draws, so
+    // borderline pairs may legitimately flip between Equivalent and a
+    // direction. The hard invariants: the directions never BOTH claim a win,
+    // and clearly-separated pairs reverse exactly.
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Rng gen(seed);
+        const double shift = gen.uniform(0.9, 1.15);
+        const auto a = lognormal_sample(1.0, 0.08, 30, 100 + seed);
+        const auto b = lognormal_sample(shift, 0.08, 30, 200 + seed);
+        const BootstrapComparator cmp;
+        Rng r1(300 + seed);
+        Rng r2(301 + seed);
+        const Ordering ab = cmp.compare(a, b, r1);
+        const Ordering ba = cmp.compare(b, a, r2);
+        EXPECT_FALSE(ab == Ordering::Better && ba == Ordering::Better);
+        EXPECT_FALSE(ab == Ordering::Worse && ba == Ordering::Worse);
+        if (shift > 1.10) {
+            EXPECT_EQ(ab, Ordering::Better) << "seed " << seed;
+            EXPECT_EQ(ba, Ordering::Worse) << "seed " << seed;
+        }
+    }
+}
+
+TEST(BootstrapComparator, DeterministicGivenSeed) {
+    const auto a = lognormal_sample(1.0, 0.1, 40, 12);
+    const auto b = lognormal_sample(1.05, 0.1, 40, 13);
+    const BootstrapComparator cmp;
+    Rng r1(14);
+    Rng r2(14);
+    EXPECT_EQ(cmp.compare(a, b, r1), cmp.compare(a, b, r2));
+}
+
+TEST(BootstrapComparator, WiderTieBandMakesMorePairsEquivalent) {
+    const auto a = lognormal_sample(1.00, 0.02, 60, 15);
+    const auto b = lognormal_sample(1.08, 0.02, 60, 16);
+
+    BootstrapComparatorConfig narrow;
+    narrow.tie_epsilon = 0.0;
+    BootstrapComparatorConfig wide;
+    wide.tie_epsilon = 0.25;
+
+    Rng r1(17);
+    Rng r2(17);
+    EXPECT_EQ(BootstrapComparator(narrow).compare(a, b, r1), Ordering::Better);
+    EXPECT_EQ(BootstrapComparator(wide).compare(a, b, r2), Ordering::Equivalent);
+}
+
+TEST(BootstrapComparator, SmallSamplesBlurBorderlinePairs) {
+    // ~6% apart with 8% noise: decisive at N = 500, not at N = 10.
+    const auto big_a = lognormal_sample(1.00, 0.08, 500, 18);
+    const auto big_b = lognormal_sample(1.06, 0.08, 500, 19);
+    const BootstrapComparator cmp;
+    Rng rng(20);
+    EXPECT_EQ(cmp.compare(big_a, big_b, rng), Ordering::Better);
+
+    // With N = 10, count equivalents across independent draws: should be
+    // frequent (the comparator refuses to call a winner).
+    int equivalents = 0;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        const auto small_a = lognormal_sample(1.00, 0.08, 10, 400 + seed);
+        const auto small_b = lognormal_sample(1.06, 0.08, 10, 500 + seed);
+        Rng r(600 + seed);
+        if (cmp.compare(small_a, small_b, r) == Ordering::Equivalent) ++equivalents;
+    }
+    EXPECT_GE(equivalents, 8);
+}
+
+TEST(BootstrapComparator, EmptySamplesThrow) {
+    const std::vector<double> empty;
+    const std::vector<double> xs = {1.0, 2.0};
+    const BootstrapComparator cmp;
+    Rng rng(21);
+    EXPECT_THROW((void)cmp.compare(empty, xs, rng), relperf::InvalidArgument);
+    EXPECT_THROW((void)cmp.compare(xs, empty, rng), relperf::InvalidArgument);
+}
+
+TEST(BootstrapComparatorConfig, ValidationCatchesBadKnobs) {
+    BootstrapComparatorConfig cfg;
+    cfg.rounds = 0;
+    EXPECT_THROW(BootstrapComparator{cfg}, relperf::InvalidArgument);
+    cfg = {};
+    cfg.quantile_lo = 0.7;
+    cfg.quantile_hi = 0.3;
+    EXPECT_THROW(BootstrapComparator{cfg}, relperf::InvalidArgument);
+    cfg = {};
+    cfg.tie_epsilon = -0.1;
+    EXPECT_THROW(BootstrapComparator{cfg}, relperf::InvalidArgument);
+    cfg = {};
+    cfg.decision_threshold = 0.0;
+    EXPECT_THROW(BootstrapComparator{cfg}, relperf::InvalidArgument);
+    cfg = {};
+    cfg.decision_threshold = 1.1;
+    EXPECT_THROW(BootstrapComparator{cfg}, relperf::InvalidArgument);
+}
+
+TEST(BootstrapComparator, NameIsStable) {
+    EXPECT_EQ(BootstrapComparator{}.name(), "bootstrap");
+}

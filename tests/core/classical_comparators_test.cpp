@@ -1,0 +1,147 @@
+#include "core/classical_comparators.hpp"
+
+#include "stats/rng.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace core = relperf::core;
+using core::Ordering;
+using relperf::stats::Rng;
+
+namespace {
+
+std::vector<double> normal_sample(double mean, double sd, int n,
+                                  std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) out.push_back(mean + sd * rng.normal());
+    return out;
+}
+
+} // namespace
+
+// --- Mann-Whitney ----------------------------------------------------------
+
+TEST(MannWhitneyComparator, SeparatedSamplesGetDirection) {
+    const auto fast = normal_sample(1.0, 0.1, 40, 1);
+    const auto slow = normal_sample(2.0, 0.1, 40, 2);
+    const core::MannWhitneyComparator cmp;
+    Rng rng(3);
+    EXPECT_EQ(cmp.compare(fast, slow, rng), Ordering::Better);
+    EXPECT_EQ(cmp.compare(slow, fast, rng), Ordering::Worse);
+}
+
+TEST(MannWhitneyComparator, OverlappingSamplesAreEquivalent) {
+    const auto a = normal_sample(1.0, 0.2, 40, 4);
+    const auto b = normal_sample(1.01, 0.2, 40, 5);
+    const core::MannWhitneyComparator cmp;
+    Rng rng(6);
+    EXPECT_EQ(cmp.compare(a, b, rng), Ordering::Equivalent);
+}
+
+TEST(MannWhitneyComparator, EffectSizeGateSuppressesTinyButSignificantShifts) {
+    // Huge N makes a tiny shift statistically significant; the Cliff's delta
+    // gate must still call it equivalent when min_effect is large.
+    const auto a = normal_sample(1.00, 0.05, 2000, 7);
+    const auto b = normal_sample(1.005, 0.05, 2000, 8);
+    const core::MannWhitneyComparator strict(0.05, 0.5);
+    Rng rng(9);
+    EXPECT_EQ(strict.compare(a, b, rng), Ordering::Equivalent);
+}
+
+TEST(MannWhitneyComparator, InvalidConfigThrows) {
+    EXPECT_THROW(core::MannWhitneyComparator(0.0, 0.1), relperf::InvalidArgument);
+    EXPECT_THROW(core::MannWhitneyComparator(1.0, 0.1), relperf::InvalidArgument);
+    EXPECT_THROW(core::MannWhitneyComparator(0.05, 1.0), relperf::InvalidArgument);
+}
+
+// --- Kolmogorov-Smirnov ----------------------------------------------------
+
+TEST(KsComparator, SeparatedSamplesGetDirection) {
+    const auto fast = normal_sample(1.0, 0.1, 60, 10);
+    const auto slow = normal_sample(1.6, 0.1, 60, 11);
+    const core::KsComparator cmp;
+    Rng rng(12);
+    EXPECT_EQ(cmp.compare(fast, slow, rng), Ordering::Better);
+    EXPECT_EQ(cmp.compare(slow, fast, rng), Ordering::Worse);
+}
+
+TEST(KsComparator, OverlappingSamplesAreEquivalent) {
+    const auto a = normal_sample(1.0, 0.2, 50, 13);
+    const auto b = normal_sample(1.02, 0.2, 50, 14);
+    const core::KsComparator cmp;
+    Rng rng(15);
+    EXPECT_EQ(cmp.compare(a, b, rng), Ordering::Equivalent);
+}
+
+TEST(KsComparator, DetectsShapeDifferencesWithEqualMedians) {
+    // Same median, wildly different spread: KS sees it, direction comes from
+    // the (equal) medians -> falls back to Equivalent. The test documents
+    // this deliberate behaviour.
+    std::vector<double> narrow;
+    std::vector<double> wide;
+    for (int i = 0; i < 200; ++i) {
+        const double u = (i + 0.5) / 200.0;
+        narrow.push_back(1.0 + 0.01 * (u - 0.5));
+        wide.push_back(1.0 + 2.0 * (u - 0.5));
+    }
+    const core::KsComparator cmp;
+    Rng rng(16);
+    EXPECT_EQ(cmp.compare(narrow, wide, rng), Ordering::Equivalent);
+}
+
+TEST(KsComparator, InvalidConfigThrows) {
+    EXPECT_THROW(core::KsComparator(0.0), relperf::InvalidArgument);
+    EXPECT_THROW(core::KsComparator(1.0), relperf::InvalidArgument);
+}
+
+// --- Summary statistic baseline ---------------------------------------------
+
+TEST(SummaryComparator, ComparesMeansWithTolerance) {
+    const std::vector<double> a = {1.0, 1.0, 1.0};
+    const std::vector<double> b = {2.0, 2.0, 2.0};
+    const std::vector<double> near_a = {1.01, 1.01, 1.01};
+    const core::SummaryComparator cmp(core::SummaryComparator::Statistic::Mean, 0.05);
+    Rng rng(17);
+    EXPECT_EQ(cmp.compare(a, b, rng), Ordering::Better);
+    EXPECT_EQ(cmp.compare(b, a, rng), Ordering::Worse);
+    EXPECT_EQ(cmp.compare(a, near_a, rng), Ordering::Equivalent);
+}
+
+TEST(SummaryComparator, MedianIgnoresOutliers) {
+    const std::vector<double> with_outlier = {1.0, 1.0, 1.0, 1.0, 100.0};
+    const std::vector<double> clean = {1.0, 1.0, 1.0, 1.0, 1.0};
+    const core::SummaryComparator median_cmp(
+        core::SummaryComparator::Statistic::Median, 0.02);
+    const core::SummaryComparator mean_cmp(
+        core::SummaryComparator::Statistic::Mean, 0.02);
+    Rng rng(18);
+    EXPECT_EQ(median_cmp.compare(with_outlier, clean, rng), Ordering::Equivalent);
+    EXPECT_EQ(mean_cmp.compare(with_outlier, clean, rng), Ordering::Worse);
+}
+
+TEST(SummaryComparator, MinimumStatistic) {
+    const std::vector<double> a = {1.0, 5.0};
+    const std::vector<double> b = {2.0, 2.0};
+    const core::SummaryComparator cmp(core::SummaryComparator::Statistic::Minimum,
+                                      0.0);
+    Rng rng(19);
+    EXPECT_EQ(cmp.compare(a, b, rng), Ordering::Better);
+}
+
+TEST(SummaryComparator, Names) {
+    using S = core::SummaryComparator::Statistic;
+    EXPECT_EQ(core::SummaryComparator(S::Mean).name(), "summary-mean");
+    EXPECT_EQ(core::SummaryComparator(S::Median).name(), "summary-median");
+    EXPECT_EQ(core::SummaryComparator(S::Minimum).name(), "summary-min");
+}
+
+TEST(SummaryComparator, NegativeToleranceThrows) {
+    EXPECT_THROW(core::SummaryComparator(core::SummaryComparator::Statistic::Mean,
+                                         -0.1),
+                 relperf::InvalidArgument);
+}

@@ -1,0 +1,236 @@
+#include "core/clustering.hpp"
+
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace core = relperf::core;
+using core::Clustering;
+using core::ClustererConfig;
+using core::MeasurementSet;
+using core::Ordering;
+using core::RelativeClusterer;
+using relperf::stats::Rng;
+
+namespace {
+
+/// Deterministic comparator: lower sample mean wins, relative tie band.
+class MeanComparator final : public core::Comparator {
+public:
+    explicit MeanComparator(double tolerance = 0.02) : tolerance_(tolerance) {}
+
+    Ordering compare(std::span<const double> a, std::span<const double> b,
+                     Rng&) const override {
+        const double ma = relperf::stats::mean(a);
+        const double mb = relperf::stats::mean(b);
+        if (std::fabs(ma - mb) <= tolerance_ * std::min(ma, mb)) {
+            return Ordering::Equivalent;
+        }
+        return ma < mb ? Ordering::Better : Ordering::Worse;
+    }
+
+    std::string name() const override { return "mean-test"; }
+
+private:
+    double tolerance_;
+};
+
+/// Stochastic comparator for one designated borderline pair: returns
+/// Equivalent with probability `flip_prob` for that pair, a deterministic
+/// mean comparison otherwise. Reproduces the paper's "algAA vs algAD flips
+/// once in every three comparisons" situation.
+class FlipComparator final : public core::Comparator {
+public:
+    FlipComparator(std::span<const double> x, std::span<const double> y,
+                   double flip_prob)
+        : x_(x.begin(), x.end()), y_(y.begin(), y.end()), flip_prob_(flip_prob) {}
+
+    Ordering compare(std::span<const double> a, std::span<const double> b,
+                     Rng& rng) const override {
+        if (is_pair(a, b) || is_pair(b, a)) {
+            if (rng.bernoulli(flip_prob_)) return Ordering::Equivalent;
+        }
+        const double ma = relperf::stats::mean(a);
+        const double mb = relperf::stats::mean(b);
+        if (ma == mb) return Ordering::Equivalent;
+        return ma < mb ? Ordering::Better : Ordering::Worse;
+    }
+
+    std::string name() const override { return "flip-test"; }
+
+private:
+    bool is_pair(std::span<const double> a, std::span<const double> b) const {
+        return a.size() == x_.size() && std::equal(a.begin(), a.end(), x_.begin()) &&
+               b.size() == y_.size() && std::equal(b.begin(), b.end(), y_.begin());
+    }
+
+    std::vector<double> x_;
+    std::vector<double> y_;
+    double flip_prob_;
+};
+
+MeasurementSet three_tier_set() {
+    MeasurementSet set;
+    set.add("fast", {1.00, 1.01, 0.99});
+    set.add("fast2", {1.005, 1.0, 1.01});
+    set.add("mid", {2.0, 2.02, 1.98});
+    set.add("slow", {4.0, 4.04, 3.96});
+    return set;
+}
+
+} // namespace
+
+TEST(RelativeClusterer, DeterministicComparatorGivesUnitScores) {
+    const MeanComparator cmp;
+    const RelativeClusterer clusterer(cmp, ClustererConfig{50, 7});
+    const Clustering result = clusterer.cluster(three_tier_set());
+
+    ASSERT_EQ(result.cluster_count(), 3);
+    EXPECT_DOUBLE_EQ(result.score_of(0, 1), 1.0); // fast
+    EXPECT_DOUBLE_EQ(result.score_of(1, 1), 1.0); // fast2
+    EXPECT_DOUBLE_EQ(result.score_of(2, 2), 1.0); // mid
+    EXPECT_DOUBLE_EQ(result.score_of(3, 3), 1.0); // slow
+    // No membership anywhere else.
+    EXPECT_DOUBLE_EQ(result.score_of(2, 1), 0.0);
+    EXPECT_DOUBLE_EQ(result.score_of(3, 2), 0.0);
+
+    // Final assignment mirrors the unique ranks.
+    EXPECT_EQ(result.final_rank(0), 1);
+    EXPECT_EQ(result.final_rank(1), 1);
+    EXPECT_EQ(result.final_rank(2), 2);
+    EXPECT_EQ(result.final_rank(3), 3);
+    for (const auto& fin : result.final_assignment) {
+        EXPECT_DOUBLE_EQ(fin.score, 1.0);
+    }
+}
+
+TEST(RelativeClusterer, ScoresPerAlgorithmSumToOne) {
+    MeasurementSet set;
+    set.add("a", {1.0, 1.1});
+    set.add("b", {1.05, 1.12});
+    set.add("c", {2.0, 2.1});
+    const MeanComparator cmp(0.08);
+    const RelativeClusterer clusterer(cmp, ClustererConfig{64, 3});
+    const Clustering result = clusterer.cluster(set);
+
+    for (std::size_t alg = 0; alg < set.size(); ++alg) {
+        double total = 0.0;
+        for (int r = 1; r <= result.cluster_count(); ++r) {
+            total += result.score_of(alg, r);
+        }
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+}
+
+TEST(RelativeClusterer, BorderlinePairSplitsAcrossClusters) {
+    MeasurementSet set;
+    set.add("algAD", {1.0, 1.0, 1.0});
+    set.add("algAA", {1.2, 1.2, 1.2});
+    set.add("algDD", {2.0, 2.0, 2.0});
+
+    // AD vs AA equivalent ~1/3 of comparisons (paper Sec. III).
+    const FlipComparator cmp(set.samples(0), set.samples(1), 1.0 / 3.0);
+    const RelativeClusterer clusterer(cmp, ClustererConfig{300, 11});
+    const Clustering result = clusterer.cluster(set);
+
+    // algAD always rank 1.
+    EXPECT_DOUBLE_EQ(result.score_of(0, 1), 1.0);
+    // algAA splits between rank 1 (merged with AD) and rank 2.
+    const double aa_r1 = result.score_of(1, 1);
+    const double aa_r2 = result.score_of(1, 2);
+    EXPECT_GT(aa_r1, 0.1);
+    EXPECT_GT(aa_r2, 0.3);
+    EXPECT_NEAR(aa_r1 + aa_r2, 1.0, 1e-12);
+    // algDD lands in rank 2 or 3 depending on the AA merge.
+    EXPECT_NEAR(result.score_of(2, 2) + result.score_of(2, 3), 1.0, 1e-12);
+}
+
+TEST(RelativeClusterer, FinalAssignmentCumulatesBetterRankScores) {
+    // Reproduces the paper's algDA example numerically: when an algorithm
+    // gets rank 2 in ~30% and rank 3 in ~60% and rank 4 in ~10% of the
+    // repetitions, it is assigned rank 3 with cumulated score ~0.9.
+    MeasurementSet set;
+    set.add("w", {1.0, 1.0});
+    set.add("x", {1.3, 1.3});
+    set.add("y", {1.6, 1.6});
+    set.add("algDA", {1.9, 1.9});
+
+    // Make y vs algDA borderline with high flip rate.
+    const FlipComparator cmp(set.samples(2), set.samples(3), 0.45);
+    const RelativeClusterer clusterer(cmp, ClustererConfig{400, 23});
+    const Clustering result = clusterer.cluster(set);
+
+    const core::FinalAssignment fin = result.final_assignment[3];
+    const double s3 = result.score_of(3, 3);
+    const double s4 = result.score_of(3, 4);
+    EXPECT_NEAR(s3 + s4, 1.0, 1e-12);
+    // Max-score rank selected; cumulated score = sum over ranks <= final.
+    double cumulated = 0.0;
+    for (int r = 1; r <= fin.rank; ++r) cumulated += result.score_of(3, r);
+    EXPECT_DOUBLE_EQ(fin.score, cumulated);
+    if (s3 > s4) {
+        EXPECT_EQ(fin.rank, 3);
+    } else {
+        EXPECT_EQ(fin.rank, 4);
+    }
+}
+
+TEST(RelativeClusterer, IsSeedDeterministic) {
+    const MeanComparator cmp;
+    const RelativeClusterer c1(cmp, ClustererConfig{30, 99});
+    const RelativeClusterer c2(cmp, ClustererConfig{30, 99});
+    const MeasurementSet set = three_tier_set();
+    const Clustering r1 = c1.cluster(set);
+    const Clustering r2 = c2.cluster(set);
+    ASSERT_EQ(r1.cluster_count(), r2.cluster_count());
+    for (std::size_t alg = 0; alg < set.size(); ++alg) {
+        for (int r = 1; r <= r1.cluster_count(); ++r) {
+            EXPECT_DOUBLE_EQ(r1.score_of(alg, r), r2.score_of(alg, r));
+        }
+    }
+}
+
+TEST(RelativeClusterer, ClusterEntriesAreSortedByScore) {
+    MeasurementSet set;
+    set.add("a", {1.0, 1.0});
+    set.add("b", {1.005, 1.005});
+    set.add("c", {1.3, 1.3});
+    const FlipComparator cmp(set.samples(0), set.samples(1), 0.5);
+    const RelativeClusterer clusterer(cmp, ClustererConfig{200, 5});
+    const Clustering result = clusterer.cluster(set);
+    for (const auto& cluster : result.clusters) {
+        for (std::size_t i = 1; i < cluster.size(); ++i) {
+            EXPECT_GE(cluster[i - 1].score, cluster[i].score);
+        }
+    }
+}
+
+TEST(RelativeClusterer, SingleAlgorithmIsTrivialCluster) {
+    MeasurementSet set;
+    set.add("only", {1.0, 2.0});
+    const MeanComparator cmp;
+    const RelativeClusterer clusterer(cmp, ClustererConfig{10, 1});
+    const Clustering result = clusterer.cluster(set);
+    EXPECT_EQ(result.cluster_count(), 1);
+    EXPECT_DOUBLE_EQ(result.score_of(0, 1), 1.0);
+    EXPECT_EQ(result.final_rank(0), 1);
+}
+
+TEST(RelativeClusterer, InvalidInputsThrow) {
+    const MeanComparator cmp;
+    EXPECT_THROW(RelativeClusterer(cmp, ClustererConfig{0, 1}),
+                 relperf::InvalidArgument);
+    const RelativeClusterer clusterer(cmp, ClustererConfig{10, 1});
+    EXPECT_THROW((void)clusterer.cluster(MeasurementSet{}), relperf::InvalidArgument);
+}
+
+TEST(Clustering, ScoreOfOutOfRangeRankIsZero) {
+    const MeanComparator cmp;
+    const RelativeClusterer clusterer(cmp, ClustererConfig{10, 1});
+    const Clustering result = clusterer.cluster(three_tier_set());
+    EXPECT_DOUBLE_EQ(result.score_of(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(result.score_of(0, 99), 0.0);
+    EXPECT_THROW((void)result.final_rank(99), relperf::InvalidArgument);
+}

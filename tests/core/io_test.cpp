@@ -1,0 +1,84 @@
+#include "core/io.hpp"
+
+#include "core/report.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace core = relperf::core;
+
+TEST(MeasurementsCsv, ParsesSimpleContent) {
+    const std::string content =
+        "algorithm,measurement_index,seconds\n"
+        "algDD,0,1.5\n"
+        "algDD,1,1.6\n"
+        "algAD,0,0.9\n";
+    const core::MeasurementSet set = core::parse_measurements_csv(content);
+    ASSERT_EQ(set.size(), 2u);
+    EXPECT_EQ(set.name(0), "algDD");
+    EXPECT_EQ(set.name(1), "algAD");
+    ASSERT_EQ(set.samples(0).size(), 2u);
+    EXPECT_DOUBLE_EQ(set.samples(0)[0], 1.5);
+    EXPECT_DOUBLE_EQ(set.samples(0)[1], 1.6);
+    EXPECT_DOUBLE_EQ(set.samples(1)[0], 0.9);
+}
+
+TEST(MeasurementsCsv, RoundTripsThroughWriter) {
+    core::MeasurementSet original;
+    original.add("algDDA", {0.0406, 0.0411, 0.0399});
+    original.add("algDDD", {0.0442, 0.0438});
+
+    const std::string path = testing::TempDir() + "relperf_io_roundtrip.csv";
+    core::write_measurements_csv(original, path);
+    const core::MeasurementSet loaded = core::read_measurements_csv(path);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded.name(i), original.name(i));
+        ASSERT_EQ(loaded.samples(i).size(), original.samples(i).size());
+        for (std::size_t k = 0; k < original.samples(i).size(); ++k) {
+            EXPECT_DOUBLE_EQ(loaded.samples(i)[k], original.samples(i)[k]);
+        }
+    }
+}
+
+TEST(MeasurementsCsv, HandlesQuotedNames) {
+    const std::string content =
+        "algorithm,measurement_index,seconds\n"
+        "\"alg,with,commas\",0,1.0\n"
+        "\"say \"\"hi\"\"\",0,2.0\n";
+    const core::MeasurementSet set = core::parse_measurements_csv(content);
+    ASSERT_EQ(set.size(), 2u);
+    EXPECT_EQ(set.name(0), "alg,with,commas");
+    EXPECT_EQ(set.name(1), "say \"hi\"");
+}
+
+TEST(MeasurementsCsv, SkipsBlankLines) {
+    const std::string content =
+        "algorithm,measurement_index,seconds\n"
+        "a,0,1.0\n"
+        "\n"
+        "a,1,2.0\n";
+    const core::MeasurementSet set = core::parse_measurements_csv(content);
+    EXPECT_EQ(set.samples(0).size(), 2u);
+}
+
+TEST(MeasurementsCsv, RejectsMalformedInput) {
+    EXPECT_THROW((void)core::parse_measurements_csv(""), relperf::Error);
+    EXPECT_THROW((void)core::parse_measurements_csv("wrong,header,here\n"),
+                 relperf::Error);
+    EXPECT_THROW((void)core::parse_measurements_csv(
+                     "algorithm,measurement_index,seconds\nonly-two,fields\n"),
+                 relperf::Error);
+    EXPECT_THROW((void)core::parse_measurements_csv(
+                     "algorithm,measurement_index,seconds\na,0,not-a-number\n"),
+                 relperf::Error);
+}
+
+TEST(MeasurementsCsv, MissingFileThrows) {
+    EXPECT_THROW((void)core::read_measurements_csv("/nonexistent/file.csv"),
+                 relperf::Error);
+}

@@ -1,0 +1,43 @@
+#include "core/measurement.hpp"
+
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+using relperf::core::MeasurementSet;
+
+TEST(MeasurementSet, AddAndLookup) {
+    MeasurementSet set;
+    EXPECT_TRUE(set.empty());
+    const std::size_t a = set.add("algDD", {1.0, 2.0, 3.0});
+    const std::size_t b = set.add("algAD", {0.5, 0.6});
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_EQ(set.name(0), "algDD");
+    EXPECT_EQ(set.index_of("algAD"), 1u);
+    EXPECT_TRUE(set.contains("algDD"));
+    EXPECT_FALSE(set.contains("algXX"));
+    EXPECT_EQ(set.samples(1).size(), 2u);
+    EXPECT_EQ(set.names(), (std::vector<std::string>{"algDD", "algAD"}));
+}
+
+TEST(MeasurementSet, SummaryDelegatesToStats) {
+    MeasurementSet set;
+    set.add("a", {1.0, 2.0, 3.0});
+    const auto s = set.summary(0);
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.0);
+    EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(MeasurementSet, InvalidInputsThrow) {
+    MeasurementSet set;
+    EXPECT_THROW(set.add("", {1.0}), relperf::InvalidArgument);
+    EXPECT_THROW(set.add("a", {}), relperf::InvalidArgument);
+    EXPECT_THROW(set.add("a", {-1.0}), relperf::InvalidArgument);
+    set.add("a", {1.0});
+    EXPECT_THROW(set.add("a", {2.0}), relperf::InvalidArgument);
+    EXPECT_THROW((void)set.at(5), relperf::InvalidArgument);
+    EXPECT_THROW((void)set.index_of("missing"), relperf::InvalidArgument);
+}

@@ -1,0 +1,114 @@
+#include "core/pipeline.hpp"
+
+#include "sim/profile.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace core = relperf::core;
+namespace sim = relperf::sim;
+namespace workloads = relperf::workloads;
+using relperf::stats::Rng;
+
+namespace {
+
+struct Fixture {
+    workloads::TaskChain chain = workloads::paper_rls_chain(10);
+    sim::CalibratedProfile profile = sim::paper_rls_profile();
+    sim::SimulatedExecutor executor{profile, sim::NoiseModel{}};
+    std::vector<workloads::DeviceAssignment> assignments =
+        workloads::enumerate_assignments(3);
+};
+
+} // namespace
+
+TEST(MeasureAssignments, ProducesNamedDistributions) {
+    Fixture f;
+    Rng rng(1);
+    const core::MeasurementSet set =
+        core::measure_assignments(f.executor, f.chain, f.assignments, 25, rng);
+    ASSERT_EQ(set.size(), 8u);
+    EXPECT_EQ(set.name(0), "algDDD");
+    EXPECT_EQ(set.name(7), "algAAA");
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        EXPECT_EQ(set.samples(i).size(), 25u);
+    }
+}
+
+TEST(MeasureAssignments, SeedDeterministic) {
+    Fixture f;
+    Rng a(7);
+    Rng b(7);
+    const auto sa = core::measure_assignments(f.executor, f.chain, f.assignments, 10, a);
+    const auto sb = core::measure_assignments(f.executor, f.chain, f.assignments, 10, b);
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(std::vector<double>(sa.samples(i).begin(), sa.samples(i).end()),
+                  std::vector<double>(sb.samples(i).begin(), sb.samples(i).end()));
+    }
+}
+
+TEST(MeasureAssignments, EmptyAssignmentListThrows) {
+    Fixture f;
+    Rng rng(1);
+    EXPECT_THROW(
+        (void)core::measure_assignments(f.executor, f.chain, {}, 10, rng),
+        relperf::InvalidArgument);
+}
+
+TEST(AnalyzeChain, EndToEndProducesConsistentResult) {
+    Fixture f;
+    core::AnalysisConfig config;
+    config.measurements_per_alg = 30;
+    config.clustering.repetitions = 40;
+    const core::AnalysisResult result =
+        core::analyze_chain(f.executor, f.chain, f.assignments, config);
+
+    EXPECT_EQ(result.measurements.size(), 8u);
+    EXPECT_GE(result.clustering.cluster_count(), 3);
+    EXPECT_LE(result.clustering.cluster_count(), 8);
+    EXPECT_EQ(result.clustering.final_assignment.size(), 8u);
+    EXPECT_EQ(result.clustering.repetitions, 40u);
+}
+
+TEST(AnalyzeChain, IsFullyDeterministicUnderFixedSeeds) {
+    Fixture f;
+    core::AnalysisConfig config;
+    config.measurements_per_alg = 20;
+    config.clustering.repetitions = 30;
+    const auto r1 = core::analyze_chain(f.executor, f.chain, f.assignments, config);
+    const auto r2 = core::analyze_chain(f.executor, f.chain, f.assignments, config);
+    ASSERT_EQ(r1.clustering.cluster_count(), r2.clustering.cluster_count());
+    for (std::size_t alg = 0; alg < 8; ++alg) {
+        EXPECT_EQ(r1.clustering.final_assignment[alg].rank,
+                  r2.clustering.final_assignment[alg].rank);
+        EXPECT_DOUBLE_EQ(r1.clustering.final_assignment[alg].score,
+                         r2.clustering.final_assignment[alg].score);
+    }
+}
+
+TEST(AnalyzeMeasurements, WorksOnExternallyCollectedData) {
+    core::MeasurementSet set;
+    set.add("fast", {1.0, 1.02, 0.98, 1.01, 0.99, 1.0, 1.01, 0.99, 1.0, 1.02});
+    set.add("slow", {2.0, 2.04, 1.96, 2.02, 1.98, 2.0, 2.02, 1.98, 2.0, 2.04});
+    core::AnalysisConfig config;
+    config.clustering.repetitions = 20;
+    const core::AnalysisResult result =
+        core::analyze_measurements(std::move(set), config);
+    EXPECT_EQ(result.clustering.cluster_count(), 2);
+    EXPECT_EQ(result.clustering.final_rank(0), 1);
+    EXPECT_EQ(result.clustering.final_rank(1), 2);
+}
+
+TEST(MeasureAssignmentsReal, SmokeOnTinyChain) {
+    const workloads::TaskChain tiny = workloads::make_rls_chain({16, 24}, 1, "tiny");
+    const sim::RealExecutor real(sim::EmulatedDevice{1, 0.0, 0.0},
+                                 sim::EmulatedDevice{2, 0.0, 0.0});
+    Rng rng(5);
+    const auto assignments = workloads::enumerate_assignments(2);
+    const core::MeasurementSet set =
+        core::measure_assignments_real(real, tiny, assignments, 3, rng, 1);
+    ASSERT_EQ(set.size(), 4u);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        for (const double s : set.samples(i)) EXPECT_GT(s, 0.0);
+    }
+}

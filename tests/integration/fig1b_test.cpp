@@ -1,0 +1,100 @@
+//! Integration test for the paper's Figure 1b and the Sec. III relative-score
+//! example: four splits of the two-loop code, measured on the calibrated
+//! CPU+GPU simulator, clustered with the bootstrap comparator.
+//!
+//! Paper targets:
+//!   N = 500: algAD alone in C1 (significantly better than the rest);
+//!            algAA next; algDD and algDA statistically equivalent.
+//!   N = 30:  algAD at the threshold of being better than algAA, so algAA's
+//!            membership splits between C1 and C2.
+
+#include "core/pipeline.hpp"
+#include "sim/profile.hpp"
+#include "workloads/chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace core = relperf::core;
+namespace sim = relperf::sim;
+namespace workloads = relperf::workloads;
+
+namespace {
+
+core::AnalysisResult run_fig1b(std::size_t n, std::uint64_t seed) {
+    const workloads::TaskChain chain = workloads::two_loop_chain();
+    static const sim::CalibratedProfile profile = sim::fig1b_profile();
+    const sim::SimulatedExecutor executor(profile, sim::NoiseModel{});
+    core::AnalysisConfig config;
+    config.measurements_per_alg = n;
+    config.clustering.repetitions = 100;
+    config.measurement_seed = seed;
+    config.clustering.seed = seed ^ 0xABCD;
+    return core::analyze_chain(executor, chain,
+                               workloads::enumerate_assignments(2), config);
+}
+
+} // namespace
+
+TEST(Fig1b, N500RecoversThePaperClustering) {
+    const core::AnalysisResult r = run_fig1b(500, 42);
+    const auto& m = r.measurements;
+    const auto& c = r.clustering;
+
+    // Final clustering: C1 {AD}, C2 {AA}, C3 {DD, DA} (paper Sec. III).
+    EXPECT_EQ(c.final_rank(m.index_of("algAD")), 1);
+    EXPECT_EQ(c.final_rank(m.index_of("algAA")), 2);
+    const int dd = c.final_rank(m.index_of("algDD"));
+    const int da = c.final_rank(m.index_of("algDA"));
+    EXPECT_EQ(dd, da); // equivalent pair shares a class
+    EXPECT_EQ(dd, 3);
+    // AD is unambiguous at N = 500.
+    EXPECT_DOUBLE_EQ(c.score_of(m.index_of("algAD"), 1), 1.0);
+}
+
+TEST(Fig1b, N500IsStableAcrossMeasurementSeeds) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull, 5ull, 8ull}) {
+        const core::AnalysisResult r = run_fig1b(500, seed);
+        const auto& m = r.measurements;
+        const auto& c = r.clustering;
+        EXPECT_EQ(c.final_rank(m.index_of("algAD")), 1) << "seed " << seed;
+        EXPECT_EQ(c.final_rank(m.index_of("algDD")),
+                  c.final_rank(m.index_of("algDA")))
+            << "seed " << seed;
+        EXPECT_LT(c.final_rank(m.index_of("algAA")),
+                  c.final_rank(m.index_of("algDD")))
+            << "seed " << seed;
+    }
+}
+
+TEST(Fig1b, N30MakesTheAdAaPairBorderline) {
+    // Across measurement seeds, algAA must sometimes join C1 (merged with
+    // algAD) and sometimes land in C2 — the paper's relative-score situation
+    // (algAA: 0.3 in C1, 0.7 in C2). algAD stays in C1 throughout.
+    int aa_touches_c1 = 0;
+    int aa_touches_c2 = 0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        const core::AnalysisResult r = run_fig1b(30, seed);
+        const auto& m = r.measurements;
+        const auto& c = r.clustering;
+        EXPECT_DOUBLE_EQ(c.score_of(m.index_of("algAD"), 1), 1.0) << seed;
+        if (c.score_of(m.index_of("algAA"), 1) > 0.05) ++aa_touches_c1;
+        if (c.score_of(m.index_of("algAA"), 2) > 0.05) ++aa_touches_c2;
+    }
+    EXPECT_GE(aa_touches_c1, 1);
+    EXPECT_GE(aa_touches_c2, 6);
+}
+
+TEST(Fig1b, MeasurementDistributionsMatchTheFigureShape) {
+    const core::AnalysisResult r = run_fig1b(500, 7);
+    const auto& m = r.measurements;
+    const auto mean_of = [&](const char* name) {
+        return m.summary(m.index_of(name)).mean;
+    };
+    // AD fastest by a wide margin; DD ~ DA within a couple of ms.
+    EXPECT_LT(mean_of("algAD") * 1.3, mean_of("algDD"));
+    EXPECT_LT(mean_of("algAD"), mean_of("algAA"));
+    EXPECT_NEAR(mean_of("algDD"), mean_of("algDA"), 0.004);
+    // Noise produces visible spread (the figure shows distributions, not
+    // points).
+    EXPECT_GT(m.summary(m.index_of("algDD")).stddev, 0.002);
+}

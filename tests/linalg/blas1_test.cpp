@@ -1,0 +1,60 @@
+#include "linalg/blas1.hpp"
+
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace linalg = relperf::linalg;
+
+TEST(Blas1, AxpyAccumulates) {
+    const std::vector<double> x = {1.0, 2.0, 3.0};
+    std::vector<double> y = {10.0, 10.0, 10.0};
+    linalg::axpy(2.0, x, y);
+    EXPECT_DOUBLE_EQ(y[0], 12.0);
+    EXPECT_DOUBLE_EQ(y[1], 14.0);
+    EXPECT_DOUBLE_EQ(y[2], 16.0);
+}
+
+TEST(Blas1, AxpySizeMismatchThrows) {
+    const std::vector<double> x = {1.0};
+    std::vector<double> y = {1.0, 2.0};
+    EXPECT_THROW(linalg::axpy(1.0, x, y), relperf::InvalidArgument);
+}
+
+TEST(Blas1, DotKnownValue) {
+    const std::vector<double> x = {1.0, 2.0, 3.0};
+    const std::vector<double> y = {4.0, 5.0, 6.0};
+    EXPECT_DOUBLE_EQ(linalg::dot(x, y), 32.0);
+}
+
+TEST(Blas1, DotSizeMismatchThrows) {
+    const std::vector<double> x = {1.0};
+    const std::vector<double> y = {1.0, 2.0};
+    EXPECT_THROW((void)linalg::dot(x, y), relperf::InvalidArgument);
+}
+
+TEST(Blas1, ScalScales) {
+    std::vector<double> x = {1.0, -2.0};
+    linalg::scal(3.0, x);
+    EXPECT_DOUBLE_EQ(x[0], 3.0);
+    EXPECT_DOUBLE_EQ(x[1], -6.0);
+}
+
+TEST(Blas1, Nrm2KnownValueAndOverflowSafety) {
+    const std::vector<double> x = {3.0, 4.0};
+    EXPECT_DOUBLE_EQ(linalg::nrm2(x), 5.0);
+    const std::vector<double> huge = {1e200, 1e200};
+    EXPECT_NEAR(linalg::nrm2(huge) / (std::sqrt(2.0) * 1e200), 1.0, 1e-12);
+    const std::vector<double> zero = {0.0, 0.0};
+    EXPECT_DOUBLE_EQ(linalg::nrm2(zero), 0.0);
+}
+
+TEST(Blas1, IamaxFindsLargestMagnitude) {
+    const std::vector<double> x = {1.0, -7.0, 3.0};
+    EXPECT_EQ(linalg::iamax(x), 1u);
+    const std::vector<double> empty;
+    EXPECT_THROW((void)linalg::iamax(empty), relperf::InvalidArgument);
+}

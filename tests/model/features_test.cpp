@@ -1,0 +1,102 @@
+#include "model/features.hpp"
+
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace model = relperf::model;
+namespace workloads = relperf::workloads;
+using workloads::DeviceAssignment;
+
+namespace {
+
+std::map<std::string, double> named_features(const workloads::TaskChain& chain,
+                                             const DeviceAssignment& assignment) {
+    const auto names = model::feature_names(chain);
+    const auto features = model::extract_features(chain, assignment);
+    std::map<std::string, double> out;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        out[names[i]] = features.values[i];
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Features, DimensionMatchesNames) {
+    const auto chain = workloads::paper_rls_chain(10);
+    const auto names = model::feature_names(chain);
+    const auto features =
+        model::extract_features(chain, DeviceAssignment("DDA"));
+    EXPECT_EQ(names.size(), features.values.size());
+    EXPECT_EQ(names.size(), 5 * chain.size() + 5);
+}
+
+TEST(Features, PlacementItersAreExclusive) {
+    const auto chain = workloads::paper_rls_chain(10);
+    const auto f = named_features(chain, DeviceAssignment("DAD"));
+    EXPECT_DOUBLE_EQ(f.at("dev_iters[L1]"), 10.0);
+    EXPECT_DOUBLE_EQ(f.at("acc_iters[L1]"), 0.0);
+    EXPECT_DOUBLE_EQ(f.at("dev_iters[L2]"), 0.0);
+    EXPECT_DOUBLE_EQ(f.at("acc_iters[L2]"), 10.0);
+    EXPECT_DOUBLE_EQ(f.at("dev_iters[L3]"), 10.0);
+}
+
+TEST(Features, TransitionIndicators) {
+    const auto chain = workloads::paper_rls_chain(10);
+    const auto f = named_features(chain, DeviceAssignment("DAD"));
+    EXPECT_DOUBLE_EQ(f.at("enter_acc[L2]"), 1.0); // D -> A before L2
+    EXPECT_DOUBLE_EQ(f.at("enter_dev[L3]"), 1.0); // A -> D before L3
+    EXPECT_DOUBLE_EQ(f.at("enter_acc[L1]"), 0.0); // starts on device
+    EXPECT_DOUBLE_EQ(f.at("resident[L2]"), 0.0);
+    EXPECT_DOUBLE_EQ(f.at("ends_on_acc"), 0.0);
+}
+
+TEST(Features, ResidencyIndicatorForConsecutiveAccelerator) {
+    const auto chain = workloads::paper_rls_chain(10);
+    const auto f = named_features(chain, DeviceAssignment("DAA"));
+    EXPECT_DOUBLE_EQ(f.at("resident[L3]"), 1.0); // L2 and L3 both on A
+    EXPECT_DOUBLE_EQ(f.at("enter_acc[L3]"), 0.0);
+    EXPECT_DOUBLE_EQ(f.at("ends_on_acc"), 1.0);
+}
+
+TEST(Features, FlopsPartitionTotal) {
+    const auto chain = workloads::paper_rls_chain(10);
+    const double total =
+        workloads::flop_split(chain, DeviceAssignment("DDD")).total();
+    for (const auto& a : workloads::enumerate_assignments(3)) {
+        const auto f = named_features(chain, a);
+        EXPECT_NEAR(f.at("device_flops") + f.at("accel_flops"), total, 1.0)
+            << a.str();
+    }
+}
+
+TEST(Features, AccelLaunchesCountOnlyOffloadedTasks) {
+    const auto chain = workloads::paper_rls_chain(10);
+    EXPECT_DOUBLE_EQ(named_features(chain, DeviceAssignment("DDD")).at("accel_launches"),
+                     0.0);
+    // One RLS task on A: 10 iters x 10 ops.
+    EXPECT_DOUBLE_EQ(named_features(chain, DeviceAssignment("DDA")).at("accel_launches"),
+                     100.0);
+    EXPECT_DOUBLE_EQ(named_features(chain, DeviceAssignment("AAA")).at("accel_launches"),
+                     300.0);
+}
+
+TEST(Features, BatchExtractionMatchesSingle) {
+    const auto chain = workloads::paper_rls_chain(5);
+    const auto assignments = workloads::enumerate_assignments(3);
+    const auto batch = model::extract_features(chain, assignments);
+    ASSERT_EQ(batch.size(), assignments.size());
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        EXPECT_EQ(batch[i].values,
+                  model::extract_features(chain, assignments[i]).values);
+    }
+}
+
+TEST(Features, LengthMismatchThrows) {
+    const auto chain = workloads::paper_rls_chain(10);
+    EXPECT_THROW((void)model::extract_features(chain, DeviceAssignment("DD")),
+                 relperf::InvalidArgument);
+}

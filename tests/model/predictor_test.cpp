@@ -1,0 +1,141 @@
+#include "model/predictor.hpp"
+
+#include "core/pipeline.hpp"
+#include "sim/profile.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace core = relperf::core;
+namespace model = relperf::model;
+namespace sim = relperf::sim;
+namespace workloads = relperf::workloads;
+using workloads::DeviceAssignment;
+
+namespace {
+
+struct Fixture {
+    workloads::TaskChain chain = workloads::paper_rls_chain(10);
+    sim::CalibratedProfile profile = sim::paper_rls_profile();
+    sim::SimulatedExecutor executor{profile, sim::NoiseModel{}};
+    std::vector<DeviceAssignment> assignments = workloads::enumerate_assignments(3);
+    core::AnalysisResult analysis = [this] {
+        core::AnalysisConfig config;
+        config.measurements_per_alg = 30;
+        config.clustering.repetitions = 60;
+        return core::analyze_chain(executor, chain, assignments, config);
+    }();
+};
+
+} // namespace
+
+TEST(Predictor, LinearModelSpansTheCalibratedCostModel) {
+    // Trained on *noise-free* expected times for all 8 assignments, the
+    // linear features must represent the conditional cost model exactly
+    // (DESIGN.md: features chosen to span the simulator's model).
+    Fixture f;
+    const sim::SimulatedExecutor exact(f.profile, sim::NoiseModel::none());
+    core::MeasurementSet noiseless;
+    for (const auto& a : f.assignments) {
+        noiseless.add(a.alg_name(),
+                      {exact.expected_seconds(f.chain, a),
+                       exact.expected_seconds(f.chain, a)});
+    }
+    model::PerformancePredictor predictor(model::PredictorConfig{1e-9, 0.02});
+    predictor.fit(f.chain, f.assignments, noiseless);
+    for (const auto& a : f.assignments) {
+        EXPECT_NEAR(predictor.predict_seconds(f.chain, a),
+                    exact.expected_seconds(f.chain, a), 1e-6)
+            << a.str();
+    }
+}
+
+TEST(Predictor, OrdersTheFullSpaceFromNoisyMeasurements) {
+    Fixture f;
+    model::PerformancePredictor predictor;
+    predictor.fit(f.chain, f.assignments, f.analysis.measurements);
+
+    const model::PredictionEval eval = model::evaluate_predictor(
+        predictor, f.chain, f.assignments, f.analysis.measurements,
+        f.analysis.clustering);
+    EXPECT_GT(eval.kendall_tau, 0.8);
+    EXPECT_GT(eval.spearman_rho, 0.85);
+    EXPECT_LT(eval.pairwise_disagreement, 0.15);
+    EXPECT_LT(eval.mean_abs_rel_error, 0.05);
+}
+
+TEST(Predictor, GeneralizesFromSubsetToHeldOutAssignments) {
+    Fixture f;
+    // Train on 6 assignments, predict the 2 held out.
+    std::vector<DeviceAssignment> train_assignments;
+    core::MeasurementSet train_set;
+    std::vector<DeviceAssignment> held_out;
+    for (std::size_t i = 0; i < f.assignments.size(); ++i) {
+        const std::string name = f.assignments[i].alg_name();
+        if (name == "algDDA" || name == "algAAD") {
+            held_out.push_back(f.assignments[i]);
+            continue;
+        }
+        train_assignments.push_back(f.assignments[i]);
+        const auto samples = f.analysis.measurements.samples(i);
+        train_set.add(name, {samples.begin(), samples.end()});
+    }
+
+    model::PerformancePredictor predictor;
+    predictor.fit(f.chain, train_assignments, train_set);
+
+    // Predicted times of the held-out extremes must land on the right side:
+    // algDDA near the fast end, algAAD clearly slowest.
+    const double pred_dda = predictor.predict_seconds(f.chain, held_out[0]);
+    const double pred_aad = predictor.predict_seconds(f.chain, held_out[1]);
+    const double meas_ddd = f.analysis.measurements.summary(
+        f.analysis.measurements.index_of("algDDD")).mean;
+    EXPECT_LT(pred_dda, meas_ddd * 1.02);
+    EXPECT_GT(pred_aad, meas_ddd * 1.15);
+    EXPECT_GT(pred_aad, pred_dda * 1.25);
+}
+
+TEST(Predictor, CompareUsesTieBand) {
+    Fixture f;
+    model::PerformancePredictor predictor(model::PredictorConfig{1e-3, 0.5});
+    predictor.fit(f.chain, f.assignments, f.analysis.measurements);
+    // A 50% tie band makes nearly everything equivalent.
+    EXPECT_EQ(predictor.compare(f.chain, DeviceAssignment("DDD"),
+                                DeviceAssignment("DDA")),
+              core::Ordering::Equivalent);
+
+    model::PerformancePredictor sharp(model::PredictorConfig{1e-3, 0.0});
+    sharp.fit(f.chain, f.assignments, f.analysis.measurements);
+    EXPECT_EQ(sharp.compare(f.chain, DeviceAssignment("DDA"),
+                            DeviceAssignment("AAD")),
+              core::Ordering::Better);
+    EXPECT_EQ(sharp.compare(f.chain, DeviceAssignment("AAD"),
+                            DeviceAssignment("DDA")),
+              core::Ordering::Worse);
+}
+
+TEST(Predictor, RankProducesValidRankedSequence) {
+    Fixture f;
+    model::PerformancePredictor predictor;
+    predictor.fit(f.chain, f.assignments, f.analysis.measurements);
+    const core::RankedSequence seq = predictor.rank(f.chain, f.assignments);
+    ASSERT_EQ(seq.order.size(), 8u);
+    core::check_rank_invariant(seq.ranks);
+    // The predicted winner class contains algDDA.
+    const std::size_t dda_pos = seq.position_of(
+        static_cast<std::size_t>(f.analysis.measurements.index_of("algDDA")));
+    EXPECT_EQ(seq.ranks[dda_pos], 1);
+}
+
+TEST(Predictor, InvalidUsageThrows) {
+    Fixture f;
+    model::PerformancePredictor predictor;
+    EXPECT_THROW((void)predictor.predict_seconds(f.chain, DeviceAssignment("DDD")),
+                 relperf::InvalidArgument);
+    core::MeasurementSet tiny;
+    tiny.add("algDDD", {1.0});
+    EXPECT_THROW(predictor.fit(f.chain, {DeviceAssignment("DDD")}, tiny),
+                 relperf::InvalidArgument);
+    EXPECT_THROW(model::PerformancePredictor(model::PredictorConfig{-1.0, 0.0}),
+                 relperf::InvalidArgument);
+}

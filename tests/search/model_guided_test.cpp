@@ -1,0 +1,140 @@
+#include "search/model_guided_search.hpp"
+
+#include "sim/analytic.hpp"
+#include "sim/profile.hpp"
+#include "support/error.hpp"
+#include "workloads/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+namespace search = relperf::search;
+namespace sim = relperf::sim;
+namespace workloads = relperf::workloads;
+
+namespace {
+
+/// Expected-time rank of `assignment` within the full space (0 = best).
+std::size_t exhaustive_rank(const sim::SimulatedExecutor& executor,
+                            const workloads::TaskChain& chain,
+                            const workloads::DeviceAssignment& assignment) {
+    const auto space = workloads::enumerate_assignments(chain.size());
+    const double chosen = executor.expected_seconds(chain, assignment);
+    std::size_t better = 0;
+    for (const auto& a : space) {
+        if (executor.expected_seconds(chain, a) < chosen) ++better;
+    }
+    return better;
+}
+
+} // namespace
+
+TEST(ModelGuidedSearch, FindsTheWinnerOnThePaperChain) {
+    const workloads::TaskChain chain = workloads::paper_rls_chain(10);
+    const sim::CalibratedProfile profile = sim::paper_rls_profile();
+    const sim::SimulatedExecutor executor(profile, sim::NoiseModel{});
+
+    search::SearchConfig config;
+    config.initial_samples = 4;
+    config.refinement_rounds = 2;
+    config.batch_size = 2;
+    config.seed = 5;
+    const search::ModelGuidedSearch searcher(executor, chain, config);
+    const search::SearchResult result = searcher.run();
+
+    EXPECT_EQ(result.space_size, 8u);
+    EXPECT_LE(result.measured_count, 8u);
+    // Found assignment is in the true top-2 of the space (DDA or DAA).
+    EXPECT_LE(exhaustive_rank(executor, chain, result.best), 1u);
+}
+
+TEST(ModelGuidedSearch, LargeSpaceMeasuresOnlyASmallFraction) {
+    // 10 tasks -> 1024 assignments; the search must execute well under 10%
+    // of them and still land in the top percentile of the space.
+    const workloads::TaskChain chain = workloads::make_rls_chain(
+        {40, 60, 80, 100, 140, 180, 220, 260, 300, 340}, 5, "big-chain");
+    const sim::AnalyticCostModel cost_model(sim::paper_cpu_gpu_platform());
+    const sim::SimulatedExecutor executor(cost_model, sim::NoiseModel{});
+
+    search::SearchConfig config;
+    config.initial_samples = 16;
+    config.refinement_rounds = 4;
+    config.batch_size = 10;
+    config.measurements_per_alg = 10;
+    config.seed = 11;
+    const search::ModelGuidedSearch searcher(executor, chain, config);
+    const search::SearchResult result = searcher.run();
+
+    EXPECT_EQ(result.space_size, 1024u);
+    EXPECT_LE(result.measured_count, 60u);
+    EXPECT_LT(result.measured_fraction(), 0.06);
+
+    // Quality: within the top 2% of the exhaustive expected-time ranking.
+    const std::size_t rank = exhaustive_rank(executor, chain, result.best);
+    EXPECT_LE(rank, 20u);
+}
+
+TEST(ModelGuidedSearch, ResultBundleIsConsistent) {
+    const workloads::TaskChain chain = workloads::paper_rls_chain(10);
+    const sim::CalibratedProfile profile = sim::paper_rls_profile();
+    const sim::SimulatedExecutor executor(profile, sim::NoiseModel{});
+
+    search::SearchConfig config;
+    config.initial_samples = 4;
+    config.refinement_rounds = 1;
+    config.batch_size = 2;
+    const search::ModelGuidedSearch searcher(executor, chain, config);
+    const search::SearchResult result = searcher.run();
+
+    EXPECT_EQ(result.measurements.size(), result.measured_count);
+    EXPECT_EQ(result.measured_assignments.size(), result.measured_count);
+    EXPECT_EQ(result.clustering.final_assignment.size(), result.measured_count);
+    EXPECT_TRUE(result.predictor.is_fitted());
+    // best is one of the measured assignments with the minimal mean.
+    double best_mean = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < result.measurements.size(); ++i) {
+        best_mean =
+            std::min(best_mean, result.measurements.summary(i).mean);
+    }
+    EXPECT_DOUBLE_EQ(result.best_measured_mean, best_mean);
+    EXPECT_TRUE(result.measurements.contains(result.best.alg_name()));
+}
+
+TEST(ModelGuidedSearch, DeterministicUnderFixedSeed) {
+    const workloads::TaskChain chain = workloads::paper_rls_chain(10);
+    const sim::CalibratedProfile profile = sim::paper_rls_profile();
+    const sim::SimulatedExecutor executor(profile, sim::NoiseModel{});
+
+    search::SearchConfig config;
+    config.initial_samples = 4;
+    config.refinement_rounds = 2;
+    config.batch_size = 2;
+    config.seed = 99;
+    const search::ModelGuidedSearch s1(executor, chain, config);
+    const search::ModelGuidedSearch s2(executor, chain, config);
+    const search::SearchResult r1 = s1.run();
+    const search::SearchResult r2 = s2.run();
+    EXPECT_EQ(r1.best.str(), r2.best.str());
+    EXPECT_DOUBLE_EQ(r1.best_measured_mean, r2.best_measured_mean);
+    EXPECT_EQ(r1.measured_count, r2.measured_count);
+}
+
+TEST(ModelGuidedSearch, InvalidConfigThrows) {
+    const workloads::TaskChain chain = workloads::paper_rls_chain(10);
+    const sim::CalibratedProfile profile = sim::paper_rls_profile();
+    const sim::SimulatedExecutor executor(profile, sim::NoiseModel{});
+    search::SearchConfig config;
+    config.initial_samples = 1;
+    EXPECT_THROW(search::ModelGuidedSearch(executor, chain, config),
+                 relperf::InvalidArgument);
+    config = {};
+    config.explore_fraction = 1.5;
+    EXPECT_THROW(search::ModelGuidedSearch(executor, chain, config),
+                 relperf::InvalidArgument);
+    config = {};
+    config.batch_size = 0;
+    EXPECT_THROW(search::ModelGuidedSearch(executor, chain, config),
+                 relperf::InvalidArgument);
+}

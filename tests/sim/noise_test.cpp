@@ -1,0 +1,104 @@
+#include "sim/noise.hpp"
+
+#include "stats/descriptive.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sim = relperf::sim;
+using relperf::stats::Rng;
+
+TEST(NoiseModel, NoneIsExactlyOne) {
+    const sim::NoiseModel none = sim::NoiseModel::none();
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(none.sample_factor(rng), 1.0);
+    }
+}
+
+TEST(NoiseModel, BodyHasMeanOne) {
+    sim::NoiseModel noise;
+    noise.sigma_log = 0.1;
+    noise.spike_prob = 0.0;
+    Rng rng(2);
+    std::vector<double> factors;
+    for (int i = 0; i < 200000; ++i) factors.push_back(noise.sample_factor(rng));
+    EXPECT_NEAR(relperf::stats::mean(factors), 1.0, 0.005);
+}
+
+TEST(NoiseModel, FactorsArePositive) {
+    sim::NoiseModel noise;
+    noise.sigma_log = 0.2;
+    noise.spike_prob = 0.1;
+    noise.spike_scale = 0.5;
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_GT(noise.sample_factor(rng), 0.0);
+    }
+}
+
+TEST(NoiseModel, SpikesAddPositiveSkew) {
+    sim::NoiseModel quiet;
+    quiet.sigma_log = 0.05;
+    quiet.spike_prob = 0.0;
+    sim::NoiseModel spiky = quiet;
+    spiky.spike_prob = 0.1;
+    spiky.spike_scale = 1.0;
+
+    Rng r1(4);
+    Rng r2(4);
+    relperf::stats::RunningStats s_quiet;
+    relperf::stats::RunningStats s_spiky;
+    for (int i = 0; i < 100000; ++i) {
+        s_quiet.add(quiet.sample_factor(r1));
+        s_spiky.add(spiky.sample_factor(r2));
+    }
+    EXPECT_GT(s_spiky.mean(), s_quiet.mean());
+    EXPECT_GT(s_spiky.max(), s_quiet.max());
+}
+
+TEST(NoiseModel, HigherSigmaMeansHigherVariance) {
+    sim::NoiseModel low;
+    low.sigma_log = 0.02;
+    low.spike_prob = 0.0;
+    sim::NoiseModel high;
+    high.sigma_log = 0.2;
+    high.spike_prob = 0.0;
+
+    Rng r1(5);
+    Rng r2(5);
+    relperf::stats::RunningStats s_low;
+    relperf::stats::RunningStats s_high;
+    for (int i = 0; i < 50000; ++i) {
+        s_low.add(low.sample_factor(r1));
+        s_high.add(high.sample_factor(r2));
+    }
+    EXPECT_GT(s_high.variance(), 5.0 * s_low.variance());
+}
+
+TEST(NoiseModel, ValidationCatchesBadParameters) {
+    sim::NoiseModel bad;
+    bad.sigma_log = -0.1;
+    EXPECT_THROW(bad.validate(), relperf::InvalidArgument);
+    bad = sim::NoiseModel{};
+    bad.spike_prob = 1.5;
+    EXPECT_THROW(bad.validate(), relperf::InvalidArgument);
+    bad = sim::NoiseModel{};
+    bad.spike_scale = -1.0;
+    EXPECT_THROW(bad.validate(), relperf::InvalidArgument);
+    bad = sim::NoiseModel{};
+    bad.spike_tail = 1.0;
+    EXPECT_THROW(bad.validate(), relperf::InvalidArgument);
+    EXPECT_NO_THROW(sim::NoiseModel{}.validate());
+}
+
+TEST(NoiseModel, SeedDeterministic) {
+    const sim::NoiseModel noise;
+    Rng a(6);
+    Rng b(6);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(noise.sample_factor(a), noise.sample_factor(b));
+    }
+}

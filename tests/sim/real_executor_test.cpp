@@ -1,0 +1,83 @@
+#include "sim/real_executor.hpp"
+
+#include "stats/descriptive.hpp"
+#include "support/error.hpp"
+#include "workloads/chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sim = relperf::sim;
+namespace workloads = relperf::workloads;
+using relperf::stats::Rng;
+using sim::EmulatedDevice;
+using workloads::DeviceAssignment;
+
+namespace {
+
+workloads::TaskChain tiny_chain() {
+    // Small enough to run in milliseconds.
+    return workloads::make_rls_chain({24, 32}, 2, "tiny");
+}
+
+} // namespace
+
+TEST(RealExecutor, ProducesPositiveWallClockTimes) {
+    const sim::RealExecutor exec(EmulatedDevice{1, 0.0, 0.0},
+                                 EmulatedDevice{2, 0.0, 0.0});
+    Rng rng(1);
+    const auto samples = exec.measure(tiny_chain(), DeviceAssignment("DA"), 5, rng, 1);
+    ASSERT_EQ(samples.size(), 5u);
+    for (const double s : samples) EXPECT_GT(s, 0.0);
+}
+
+TEST(RealExecutor, DispatchDelayInflatesRuntime) {
+    // 1 ms per launch, tiny chain has 2 tasks x 2 iters x 10 ops = 40
+    // launches on the accelerator -> >= 40 ms extra when offloaded.
+    const sim::RealExecutor fast(EmulatedDevice{1, 0.0, 0.0},
+                                 EmulatedDevice{1, 0.0, 0.0});
+    const sim::RealExecutor slow(EmulatedDevice{1, 0.0, 0.0},
+                                 EmulatedDevice{1, 1e-3, 0.0});
+    Rng r1(2);
+    Rng r2(2);
+    const auto chain = tiny_chain();
+    const double t_fast =
+        relperf::stats::median(fast.measure(chain, DeviceAssignment("AA"), 5, r1));
+    const double t_slow =
+        relperf::stats::median(slow.measure(chain, DeviceAssignment("AA"), 5, r2));
+    EXPECT_GT(t_slow, t_fast + 0.030);
+}
+
+TEST(RealExecutor, SwitchDelayAppliesOnDeviceChanges) {
+    const sim::RealExecutor no_switch(EmulatedDevice{1, 0.0, 0.0},
+                                      EmulatedDevice{1, 0.0, 0.0});
+    const sim::RealExecutor with_switch(EmulatedDevice{1, 0.0, 5e-3},
+                                        EmulatedDevice{1, 0.0, 5e-3});
+    Rng r1(3);
+    Rng r2(3);
+    const auto chain = tiny_chain();
+    // "AD" switches twice (enter A, back to D) plus no trailing switch.
+    const double plain =
+        relperf::stats::median(no_switch.measure(chain, DeviceAssignment("AD"), 5, r1));
+    const double delayed = relperf::stats::median(
+        with_switch.measure(chain, DeviceAssignment("AD"), 5, r2));
+    EXPECT_GT(delayed, plain + 0.008);
+}
+
+TEST(RealExecutor, InvalidConfigurationThrows) {
+    EXPECT_THROW(sim::RealExecutor(EmulatedDevice{-1, 0.0, 0.0},
+                                   EmulatedDevice{1, 0.0, 0.0}),
+                 relperf::InvalidArgument);
+    EXPECT_THROW(sim::RealExecutor(EmulatedDevice{1, -1.0, 0.0},
+                                   EmulatedDevice{1, 0.0, 0.0}),
+                 relperf::InvalidArgument);
+}
+
+TEST(RealExecutor, AssignmentLengthMismatchThrows) {
+    const sim::RealExecutor exec(EmulatedDevice{1, 0.0, 0.0},
+                                 EmulatedDevice{1, 0.0, 0.0});
+    Rng rng(4);
+    EXPECT_THROW((void)exec.run_once(tiny_chain(), DeviceAssignment("D"), rng),
+                 relperf::InvalidArgument);
+    EXPECT_THROW((void)exec.measure(tiny_chain(), DeviceAssignment("DD"), 0, rng),
+                 relperf::InvalidArgument);
+}

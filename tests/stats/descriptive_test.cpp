@@ -1,0 +1,168 @@
+#include "stats/descriptive.hpp"
+
+#include "stats/rng.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stats = relperf::stats;
+
+TEST(RunningStats, MatchesDirectComputation) {
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    stats::RunningStats acc;
+    for (const double x : xs) acc.add(x);
+    EXPECT_EQ(acc.count(), xs.size());
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12); // unbiased
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+    stats::Rng rng(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal(3.0, 2.0));
+
+    stats::RunningStats whole;
+    for (const double x : xs) whole.add(x);
+
+    stats::RunningStats left;
+    stats::RunningStats right;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        (i < 400 ? left : right).add(xs[i]);
+    }
+    left.merge(right);
+
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+    stats::RunningStats a;
+    a.add(1.0);
+    a.add(3.0);
+    stats::RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    stats::RunningStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Descriptive, MeanAndVariance) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(stats::mean(xs), 2.5);
+    EXPECT_NEAR(stats::variance(xs), 5.0 / 3.0, 1e-12);
+    EXPECT_NEAR(stats::stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyInputThrows) {
+    const std::vector<double> empty;
+    EXPECT_THROW((void)stats::mean(empty), relperf::InvalidArgument);
+    EXPECT_THROW((void)stats::variance(empty), relperf::InvalidArgument);
+    EXPECT_THROW((void)stats::median(empty), relperf::InvalidArgument);
+    EXPECT_THROW((void)stats::summarize(empty), relperf::InvalidArgument);
+}
+
+// Type-7 quantile references computed with numpy.quantile (default method).
+TEST(Quantile, MatchesNumpyType7) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.25), 2.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.75), 4.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.1), 1.4);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.9), 7.6);
+}
+
+TEST(Quantile, SingleElement) {
+    const std::vector<double> xs = {5.0};
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 5.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, UnsortedInputToSortedFunctionThrows) {
+    const std::vector<double> xs = {3.0, 1.0, 2.0};
+    EXPECT_THROW((void)stats::quantile_sorted(xs, 0.5), relperf::InvalidArgument);
+}
+
+TEST(Quantile, OutOfRangePThrows) {
+    const std::vector<double> xs = {1.0, 2.0};
+    EXPECT_THROW((void)stats::quantile(xs, -0.1), relperf::InvalidArgument);
+    EXPECT_THROW((void)stats::quantile(xs, 1.1), relperf::InvalidArgument);
+}
+
+class QuantileMonotonicity : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotonicity, QuantileIsMonotoneInP) {
+    stats::Rng rng(GetParam());
+    std::vector<double> xs;
+    for (int i = 0; i < 57; ++i) xs.push_back(rng.lognormal(0.0, 1.0));
+    const std::vector<double> sorted = stats::sorted_copy(xs);
+    double prev = -1.0;
+    for (double p = 0.0; p <= 1.0; p += 0.05) {
+        const double q = stats::quantile_sorted(sorted, p);
+        EXPECT_GE(q, prev);
+        prev = q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotonicity,
+                         testing::Values(1, 2, 3, 10, 99, 12345));
+
+TEST(Median, EvenAndOddCounts) {
+    EXPECT_DOUBLE_EQ(stats::median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(stats::median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Mad, KnownValue) {
+    // median = 3, |x - 3| = {2,1,0,1,2}, median = 1 -> MAD = 1.4826.
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_NEAR(stats::mad(xs), 1.4826, 1e-12);
+}
+
+TEST(TrimmedMean, DropsTails) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 100.0};
+    // 20% trim drops one element per tail: mean(1,2,3) = 2.
+    EXPECT_DOUBLE_EQ(stats::trimmed_mean(xs, 0.2), 2.0);
+    // No trim = plain mean.
+    EXPECT_DOUBLE_EQ(stats::trimmed_mean(xs, 0.0), stats::mean(xs));
+}
+
+TEST(TrimmedMean, InvalidTrimThrows) {
+    const std::vector<double> xs = {1.0, 2.0};
+    EXPECT_THROW((void)stats::trimmed_mean(xs, 0.5), relperf::InvalidArgument);
+    EXPECT_THROW((void)stats::trimmed_mean(xs, -0.1), relperf::InvalidArgument);
+}
+
+TEST(GeometricMean, KnownValueAndPositivityCheck) {
+    const std::vector<double> xs = {1.0, 4.0, 16.0};
+    EXPECT_NEAR(stats::geometric_mean(xs), 4.0, 1e-12);
+    const std::vector<double> bad = {1.0, 0.0};
+    EXPECT_THROW((void)stats::geometric_mean(bad), relperf::InvalidArgument);
+}
+
+TEST(Summarize, AllFieldsPopulated) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+    const stats::Summary s = stats::summarize(xs);
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.mean, 4.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 8.0);
+    EXPECT_DOUBLE_EQ(s.median, 4.5);
+    EXPECT_DOUBLE_EQ(s.q25, 2.75);
+    EXPECT_DOUBLE_EQ(s.q75, 6.25);
+    EXPECT_GT(s.stddev, 0.0);
+    EXPECT_NEAR(s.cv, s.stddev / s.mean, 1e-15);
+}

@@ -1,0 +1,103 @@
+#include "stats/ecdf.hpp"
+
+#include "stats/rng.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stats = relperf::stats;
+using stats::EmpiricalDistribution;
+
+TEST(Ecdf, SortsAndExposesExtremes) {
+    const std::vector<double> xs = {3.0, 1.0, 2.0};
+    const EmpiricalDistribution d(xs);
+    EXPECT_EQ(d.size(), 3u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_TRUE(std::is_sorted(d.sorted().begin(), d.sorted().end()));
+}
+
+TEST(Ecdf, EmptySampleThrows) {
+    const std::vector<double> empty;
+    EXPECT_THROW(EmpiricalDistribution{empty}, relperf::InvalidArgument);
+}
+
+TEST(Ecdf, CdfStepsCorrectly) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    const EmpiricalDistribution d(xs);
+    EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(d.cdf(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(d.cdf(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.cdf(99.0), 1.0);
+}
+
+TEST(Ecdf, ProbLessThanDisjointSamples) {
+    const EmpiricalDistribution fast(std::vector<double>{1.0, 2.0, 3.0});
+    const EmpiricalDistribution slow(std::vector<double>{10.0, 20.0});
+    EXPECT_DOUBLE_EQ(fast.prob_less_than(slow), 1.0);
+    EXPECT_DOUBLE_EQ(slow.prob_less_than(fast), 0.0);
+}
+
+TEST(Ecdf, ProbLessThanIdenticalIsHalf) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    const EmpiricalDistribution a(xs);
+    const EmpiricalDistribution b(xs);
+    EXPECT_DOUBLE_EQ(a.prob_less_than(b), 0.5);
+}
+
+TEST(Ecdf, ProbLessThanHandlesTies) {
+    const EmpiricalDistribution a(std::vector<double>{1.0, 1.0});
+    const EmpiricalDistribution b(std::vector<double>{1.0});
+    EXPECT_DOUBLE_EQ(a.prob_less_than(b), 0.5);
+}
+
+TEST(Ecdf, ProbLessThanComplementarity) {
+    stats::Rng rng(11);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 101; ++i) {
+        xs.push_back(rng.normal(0.0, 1.0));
+        ys.push_back(rng.normal(0.3, 1.5));
+    }
+    const EmpiricalDistribution a(xs);
+    const EmpiricalDistribution b(ys);
+    EXPECT_NEAR(a.prob_less_than(b) + b.prob_less_than(a), 1.0, 1e-12);
+}
+
+TEST(Ecdf, OverlapIdenticalIsOne) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+    const EmpiricalDistribution a(xs);
+    const EmpiricalDistribution b(xs);
+    EXPECT_NEAR(a.overlap(b), 1.0, 1e-12);
+}
+
+TEST(Ecdf, OverlapDisjointIsZero) {
+    const EmpiricalDistribution a(std::vector<double>{1.0, 2.0});
+    const EmpiricalDistribution b(std::vector<double>{100.0, 101.0});
+    EXPECT_NEAR(a.overlap(b), 0.0, 1e-12);
+}
+
+TEST(Ecdf, OverlapPartialIsBetween) {
+    stats::Rng rng(21);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 2000; ++i) {
+        xs.push_back(rng.normal(0.0, 1.0));
+        ys.push_back(rng.normal(1.0, 1.0)); // 1 sigma apart
+    }
+    const EmpiricalDistribution a(xs);
+    const EmpiricalDistribution b(ys);
+    const double ov = a.overlap(b);
+    EXPECT_GT(ov, 0.4);
+    EXPECT_LT(ov, 0.8);
+}
+
+TEST(Ecdf, QuantileMatchesDescriptive) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+    const EmpiricalDistribution d(xs);
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.9), 7.6);
+}

@@ -1,0 +1,102 @@
+#include "support/cli.hpp"
+
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+using relperf::support::CliParser;
+
+namespace {
+
+CliParser make_parser() {
+    CliParser cli("test program");
+    cli.add_flag("verbose", "more output");
+    cli.add_option("n", "measurement count", "30");
+    cli.add_option("sigma", "noise level", "0.08");
+    cli.add_option("csv", "csv output path", "");
+    return cli;
+}
+
+bool parse(CliParser& cli, std::initializer_list<const char*> args) {
+    std::vector<const char*> argv = {"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return cli.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(CliParser, DefaultsApplyWithoutArguments) {
+    CliParser cli = make_parser();
+    ASSERT_TRUE(parse(cli, {}));
+    EXPECT_FALSE(cli.flag("verbose"));
+    EXPECT_EQ(cli.value_int("n"), 30);
+    EXPECT_DOUBLE_EQ(cli.value_double("sigma"), 0.08);
+    EXPECT_FALSE(cli.value_optional("csv").has_value());
+}
+
+TEST(CliParser, ParsesFlagsAndValues) {
+    CliParser cli = make_parser();
+    ASSERT_TRUE(parse(cli, {"--verbose", "--n", "100"}));
+    EXPECT_TRUE(cli.flag("verbose"));
+    EXPECT_EQ(cli.value_int("n"), 100);
+}
+
+TEST(CliParser, ParsesEqualsSyntax) {
+    CliParser cli = make_parser();
+    ASSERT_TRUE(parse(cli, {"--sigma=0.5", "--csv=out.csv"}));
+    EXPECT_DOUBLE_EQ(cli.value_double("sigma"), 0.5);
+    ASSERT_TRUE(cli.value_optional("csv").has_value());
+    EXPECT_EQ(*cli.value_optional("csv"), "out.csv");
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+    CliParser cli = make_parser();
+    EXPECT_FALSE(parse(cli, {"--help"}));
+}
+
+TEST(CliParser, UnknownOptionThrows) {
+    CliParser cli = make_parser();
+    EXPECT_THROW(parse(cli, {"--bogus"}), relperf::InvalidArgument);
+}
+
+TEST(CliParser, MissingValueThrows) {
+    CliParser cli = make_parser();
+    EXPECT_THROW(parse(cli, {"--n"}), relperf::InvalidArgument);
+}
+
+TEST(CliParser, FlagWithValueThrows) {
+    CliParser cli = make_parser();
+    EXPECT_THROW(parse(cli, {"--verbose=1"}), relperf::InvalidArgument);
+}
+
+TEST(CliParser, NonIntegerValueThrows) {
+    CliParser cli = make_parser();
+    ASSERT_TRUE(parse(cli, {"--n", "abc"}));
+    EXPECT_THROW((void)cli.value_int("n"), relperf::InvalidArgument);
+}
+
+TEST(CliParser, PositionalArgumentThrows) {
+    CliParser cli = make_parser();
+    EXPECT_THROW(parse(cli, {"positional"}), relperf::InvalidArgument);
+}
+
+TEST(CliParser, DuplicateDeclarationThrows) {
+    CliParser cli("x");
+    cli.add_flag("f", "flag");
+    EXPECT_THROW(cli.add_option("f", "again", "1"), relperf::InvalidArgument);
+}
+
+TEST(CliParser, UsageListsOptionsAndDefaults) {
+    CliParser cli = make_parser();
+    const std::string usage = cli.usage();
+    EXPECT_NE(usage.find("--verbose"), std::string::npos);
+    EXPECT_NE(usage.find("--n <value>"), std::string::npos);
+    EXPECT_NE(usage.find("(default: 30)"), std::string::npos);
+}
+
+TEST(CliParser, QueryingUndeclaredOptionThrows) {
+    CliParser cli = make_parser();
+    ASSERT_TRUE(parse(cli, {}));
+    EXPECT_THROW((void)cli.flag("nope"), relperf::InvalidArgument);
+    EXPECT_THROW((void)cli.value("nope"), relperf::InvalidArgument);
+}

@@ -1,0 +1,94 @@
+#include "workloads/assignment.hpp"
+
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace workloads = relperf::workloads;
+using workloads::DeviceAssignment;
+using workloads::Placement;
+
+TEST(Placement, CharRoundTrip) {
+    EXPECT_EQ(workloads::to_char(Placement::Device), 'D');
+    EXPECT_EQ(workloads::to_char(Placement::Accelerator), 'A');
+    EXPECT_EQ(workloads::placement_from_char('D'), Placement::Device);
+    EXPECT_EQ(workloads::placement_from_char('A'), Placement::Accelerator);
+    EXPECT_THROW((void)workloads::placement_from_char('X'), relperf::InvalidArgument);
+}
+
+TEST(DeviceAssignment, ParsesLetterString) {
+    const DeviceAssignment a("DDA");
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.at(0), Placement::Device);
+    EXPECT_EQ(a.at(1), Placement::Device);
+    EXPECT_EQ(a.at(2), Placement::Accelerator);
+    EXPECT_EQ(a.str(), "DDA");
+    EXPECT_EQ(a.alg_name(), "algDDA");
+}
+
+TEST(DeviceAssignment, InvalidStringsThrow) {
+    EXPECT_THROW(DeviceAssignment(""), relperf::InvalidArgument);
+    EXPECT_THROW(DeviceAssignment("DXA"), relperf::InvalidArgument);
+    EXPECT_THROW(DeviceAssignment("da"), relperf::InvalidArgument);
+}
+
+TEST(DeviceAssignment, VectorConstructor) {
+    const DeviceAssignment a(
+        std::vector<Placement>{Placement::Accelerator, Placement::Device});
+    EXPECT_EQ(a.str(), "AD");
+    EXPECT_THROW(DeviceAssignment(std::vector<Placement>{}), relperf::InvalidArgument);
+}
+
+TEST(DeviceAssignment, OutOfRangeIndexThrows) {
+    const DeviceAssignment a("DD");
+    EXPECT_THROW((void)a.at(2), relperf::InvalidArgument);
+}
+
+TEST(DeviceAssignment, AcceleratorCount) {
+    EXPECT_EQ(DeviceAssignment("DDD").accelerator_count(), 0u);
+    EXPECT_EQ(DeviceAssignment("DAD").accelerator_count(), 1u);
+    EXPECT_EQ(DeviceAssignment("AAA").accelerator_count(), 3u);
+}
+
+TEST(DeviceAssignment, SwitchCountIncludesVirtualStart) {
+    // The chain is invoked from the edge device.
+    EXPECT_EQ(DeviceAssignment("DDD").switch_count(), 0u);
+    EXPECT_EQ(DeviceAssignment("ADD").switch_count(), 2u); // D->A, A->D
+    EXPECT_EQ(DeviceAssignment("DDA").switch_count(), 1u); // D->A at the end
+    EXPECT_EQ(DeviceAssignment("ADA").switch_count(), 3u);
+    EXPECT_EQ(DeviceAssignment("AAA").switch_count(), 1u);
+}
+
+TEST(DeviceAssignment, Equality) {
+    EXPECT_EQ(DeviceAssignment("DA"), DeviceAssignment("DA"));
+    EXPECT_FALSE(DeviceAssignment("DA") == DeviceAssignment("AD"));
+}
+
+TEST(EnumerateAssignments, CountsAndOrder) {
+    const auto two = workloads::enumerate_assignments(2);
+    ASSERT_EQ(two.size(), 4u);
+    EXPECT_EQ(two[0].str(), "DD");
+    EXPECT_EQ(two[1].str(), "DA");
+    EXPECT_EQ(two[2].str(), "AD");
+    EXPECT_EQ(two[3].str(), "AA");
+
+    const auto three = workloads::enumerate_assignments(3);
+    ASSERT_EQ(three.size(), 8u);
+    EXPECT_EQ(three.front().str(), "DDD");
+    EXPECT_EQ(three.back().str(), "AAA");
+}
+
+TEST(EnumerateAssignments, AllDistinct) {
+    const auto assignments = workloads::enumerate_assignments(4);
+    ASSERT_EQ(assignments.size(), 16u);
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        for (std::size_t j = i + 1; j < assignments.size(); ++j) {
+            EXPECT_FALSE(assignments[i] == assignments[j]);
+        }
+    }
+}
+
+TEST(EnumerateAssignments, InvalidCountsThrow) {
+    EXPECT_THROW((void)workloads::enumerate_assignments(0), relperf::InvalidArgument);
+    EXPECT_THROW((void)workloads::enumerate_assignments(25), relperf::InvalidArgument);
+}

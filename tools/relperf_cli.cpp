@@ -1,0 +1,115 @@
+//! relperf — command-line front end.
+//!
+//! Clusters measurement distributions from a CSV file (any source: real
+//! devices, other harnesses) into performance classes with relative scores,
+//! using the paper's methodology end to end:
+//!
+//!   $ relperf --input measurements.csv
+//!   $ relperf --input measurements.csv --n-max 30 --rep 200 \
+//!             --tie-epsilon 0.05 --out clusters.csv --matrix
+//!
+//! Input format (written by core::write_measurements_csv and by every bench's
+//! --csv option):
+//!
+//!   algorithm,measurement_index,seconds
+//!   algDDA,0,0.0406
+//!   ...
+
+#include "core/io.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "support/cli.hpp"
+
+#include <cstdio>
+
+using namespace relperf;
+
+int main(int argc, char** argv) try {
+    support::CliParser cli(
+        "relperf — cluster algorithms into performance classes "
+        "(Sankaran & Bientinesi 2021)");
+    cli.add_option("input", "measurements CSV (algorithm,measurement_index,seconds)",
+                   "");
+    cli.add_option("rep", "clustering repetitions (paper Rep)", "100");
+    cli.add_option("rounds", "bootstrap rounds per comparison (paper R)", "100");
+    cli.add_option("tie-epsilon", "relative tie band of the comparator", "0.02");
+    cli.add_option("threshold", "decision threshold on the win-rate score", "0.9");
+    cli.add_option("n-max", "use at most this many measurements per algorithm "
+                            "(0 = all)", "0");
+    cli.add_option("seed", "clustering seed", "42");
+    cli.add_option("out", "write the clustering to this CSV path", "");
+    cli.add_flag("summary", "print per-algorithm summary statistics");
+    cli.add_flag("matrix", "print the pairwise three-way comparison matrix");
+    cli.add_flag("distributions", "print shared-axis ASCII histograms");
+    if (!cli.parse(argc, argv)) return 0;
+
+    const auto input = cli.value_optional("input");
+    if (!input) {
+        std::fputs("error: --input is required (see --help)\n", stderr);
+        return 2;
+    }
+
+    core::MeasurementSet loaded = core::read_measurements_csv(*input);
+
+    // Optional truncation (simulate a smaller N).
+    const int n_max = cli.value_int("n-max");
+    core::MeasurementSet measurements;
+    if (n_max > 0) {
+        for (std::size_t i = 0; i < loaded.size(); ++i) {
+            const auto samples = loaded.samples(i);
+            const std::size_t keep =
+                std::min(samples.size(), static_cast<std::size_t>(n_max));
+            measurements.add(loaded.name(i),
+                             {samples.begin(), samples.begin() + keep});
+        }
+    } else {
+        measurements = std::move(loaded);
+    }
+
+    core::AnalysisConfig config;
+    config.comparator.rounds = static_cast<std::size_t>(cli.value_int("rounds"));
+    config.comparator.tie_epsilon = cli.value_double("tie-epsilon");
+    config.comparator.decision_threshold = cli.value_double("threshold");
+    config.clustering.repetitions = static_cast<std::size_t>(cli.value_int("rep"));
+    config.clustering.seed = static_cast<std::uint64_t>(cli.value_int("seed"));
+
+    std::printf("relperf: %zu algorithms from %s\n\n", measurements.size(),
+                input->c_str());
+
+    if (cli.flag("summary")) {
+        std::fputs(core::render_summary_table(measurements).c_str(), stdout);
+        std::fputs("\n", stdout);
+    }
+    if (cli.flag("distributions")) {
+        std::fputs(core::render_distributions(measurements).c_str(), stdout);
+    }
+    if (cli.flag("matrix")) {
+        const core::BootstrapComparator comparator(config.comparator);
+        stats::Rng rng(config.clustering.seed + 1);
+        std::fputs(core::render_comparison_matrix(measurements, comparator, rng)
+                       .c_str(),
+                   stdout);
+        std::fputs("\n", stdout);
+    }
+
+    const core::AnalysisResult result =
+        core::analyze_measurements(std::move(measurements), config);
+
+    std::puts("Performance classes with relative scores:");
+    std::fputs(
+        core::render_cluster_table(result.clustering, result.measurements).c_str(),
+        stdout);
+    std::puts("\nFinal unique assignment:");
+    std::fputs(
+        core::render_final_table(result.clustering, result.measurements).c_str(),
+        stdout);
+
+    if (const auto out = cli.value_optional("out")) {
+        core::write_clustering_csv(result.clustering, result.measurements, *out);
+        std::printf("\nclustering written to %s\n", out->c_str());
+    }
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+}
