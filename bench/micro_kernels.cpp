@@ -16,6 +16,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 namespace {
 
 using relperf::linalg::Matrix;
@@ -151,3 +154,32 @@ void BM_ThreeWaySortRandomComparator(benchmark::State& state) {
 BENCHMARK(BM_ThreeWaySortRandomComparator)->Arg(8)->Arg(32)->Arg(128);
 
 } // namespace
+
+// Custom main instead of BENCHMARK_MAIN(): every relperf bench accepts
+// `--csv <path>` (bench_common.hpp convention), which here is translated to
+// google-benchmark's file reporter (--benchmark_out=<path> in CSV format).
+int main(int argc, char** argv) {
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--csv" && i + 1 < argc) {
+            args.push_back("--benchmark_out=" + std::string(argv[++i]));
+            args.push_back("--benchmark_out_format=csv");
+        } else if (arg.rfind("--csv=", 0) == 0) {
+            args.push_back("--benchmark_out=" + arg.substr(6));
+            args.push_back("--benchmark_out_format=csv");
+        } else {
+            args.push_back(arg);
+        }
+    }
+    std::vector<char*> raw;
+    raw.reserve(args.size());
+    for (std::string& a : args) raw.push_back(a.data());
+    int raw_argc = static_cast<int>(raw.size());
+    benchmark::Initialize(&raw_argc, raw.data());
+    if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

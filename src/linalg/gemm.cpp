@@ -6,7 +6,9 @@
 #include <atomic>
 #include <vector>
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 namespace relperf::linalg {
 
@@ -79,7 +81,11 @@ void set_gemm_threads(int threads) noexcept {
 
 int gemm_threads() noexcept {
     const int t = g_gemm_threads.load(std::memory_order_relaxed);
+#ifdef _OPENMP
     return t == 0 ? omp_get_max_threads() : t;
+#else
+    return t == 0 ? 1 : t; // serial build: one thread unless explicitly overridden
+#endif
 }
 
 void gemm_reference(double alpha, const Matrix& a, const Matrix& b, double beta,
@@ -111,14 +117,18 @@ void gemm(double alpha, const Matrix& a, const Matrix& b, double beta, Matrix& c
     }
     if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
 
-    const int threads = std::max(1, gemm_threads());
+    [[maybe_unused]] const int threads = std::max(1, gemm_threads());
 
+#ifdef _OPENMP
     #pragma omp parallel num_threads(threads)
+#endif
     {
         // Per-thread packed B panel (kBlockK x kBlockN, padded to kMicroN).
         std::vector<double> bpack(kBlockK * (kBlockN + kMicroN));
 
+#ifdef _OPENMP
         #pragma omp for collapse(2) schedule(dynamic)
+#endif
         for (std::size_t jb = 0; jb < n; jb += kBlockN) {
             for (std::size_t ib = 0; ib < m; ib += kBlockM) {
                 const std::size_t nb = std::min(kBlockN, n - jb);

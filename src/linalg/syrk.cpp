@@ -14,10 +14,12 @@ void gram(const Matrix& a, Matrix& c) {
     else c.set_zero();
 
     constexpr std::size_t kBlock = 64;
-    const int threads = std::max(1, gemm_threads());
+    [[maybe_unused]] const int threads = std::max(1, gemm_threads());
 
     // Lower triangle: c(i, j) = sum_p a(p, i) * a(p, j), j <= i.
+#ifdef _OPENMP
     #pragma omp parallel for schedule(dynamic) num_threads(threads)
+#endif
     for (std::size_t ib = 0; ib < n; ib += kBlock) {
         const std::size_t i_end = std::min(ib + kBlock, n);
         for (std::size_t jb = 0; jb <= ib; jb += kBlock) {

@@ -3,13 +3,18 @@
 #include "support/error.hpp"
 #include "support/str.hpp"
 
-#include <cstdio>
 #include <cstdlib>
+#include <iostream>
 
 namespace relperf::support {
 
 CliParser::CliParser(std::string program_description)
-    : description_(std::move(program_description)) {}
+    : description_(std::move(program_description)), out_(&std::cout) {}
+
+void CliParser::set_output(std::ostream* out) {
+    RELPERF_REQUIRE(out != nullptr, "CliParser: output stream must not be null");
+    out_ = out;
+}
 
 void CliParser::add_flag(const std::string& name, const std::string& help) {
     RELPERF_REQUIRE(!options_.count(name), "CliParser: duplicate option --" + name);
@@ -28,7 +33,7 @@ bool CliParser::parse(int argc, const char* const* argv) {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::fputs(usage().c_str(), stdout);
+            (*out_) << usage() << std::flush;
             return false;
         }
         RELPERF_REQUIRE(str::starts_with(arg, "--"),

@@ -6,6 +6,7 @@
 //! so typos in experiment scripts fail loudly instead of silently running the
 //! default configuration.
 
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
@@ -23,8 +24,13 @@ public:
     void add_option(const std::string& name, const std::string& help,
                     const std::string& default_value);
 
-    /// Parses argv. Returns false (after printing usage) when --help was
-    /// requested; throws InvalidArgument on unknown or malformed options.
+    /// Redirects help/usage output. Defaults to std::cout; tests and embedding
+    /// callers can point it at any stream to capture the text. Must not be null.
+    void set_output(std::ostream* out);
+
+    /// Parses argv. Returns false (after writing usage to the output stream)
+    /// when --help was requested; throws InvalidArgument on unknown or
+    /// malformed options.
     [[nodiscard]] bool parse(int argc, const char* const* argv);
 
     [[nodiscard]] bool flag(const std::string& name) const;
@@ -48,6 +54,7 @@ private:
     const Option& lookup(const std::string& name) const;
 
     std::string description_;
+    std::ostream* out_; // never null; defaults to &std::cout
     std::map<std::string, Option> options_;
     std::vector<std::string> order_;
 };

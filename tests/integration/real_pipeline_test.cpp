@@ -5,6 +5,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "linalg/gemm.hpp"
 #include "sim/real_executor.hpp"
 #include "workloads/chain.hpp"
 
@@ -19,6 +20,14 @@ TEST(RealPipeline, SingleLoopOffloadClustering) {
     // One compute-heavy task: 1 thread vs all threads, no artificial delay.
     // The accelerator ("A") must win on a big enough kernel, and the
     // pipeline must put algA in a class at least as good as algD.
+    //
+    // On a single-threaded machine (or a serial build) "all threads" equals
+    // one thread, both devices run identical code, and the strict speedup
+    // below is decided by scheduler noise — the premise doesn't hold there.
+    if (relperf::linalg::gemm_threads() <= 1) {
+        GTEST_SKIP() << "accelerator cannot outrun the edge device with "
+                        "only one hardware thread";
+    }
     const workloads::TaskChain chain =
         workloads::make_rls_chain({192}, 2, "one-task");
     const sim::RealExecutor executor(sim::EmulatedDevice{1, 0.0, 0.0},

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 using relperf::support::CliParser;
 
 namespace {
@@ -51,7 +53,28 @@ TEST(CliParser, ParsesEqualsSyntax) {
 
 TEST(CliParser, HelpReturnsFalse) {
     CliParser cli = make_parser();
+    std::ostringstream captured;
+    cli.set_output(&captured); // keep usage text out of the test run's stdout
     EXPECT_FALSE(parse(cli, {"--help"}));
+    EXPECT_NE(captured.str().find("test program"), std::string::npos);
+    EXPECT_NE(captured.str().find("Options:"), std::string::npos);
+}
+
+TEST(CliParser, HelpOutputIsRedirectable) {
+    CliParser cli = make_parser();
+    std::ostringstream first;
+    std::ostringstream second;
+    cli.set_output(&first);
+    EXPECT_FALSE(parse(cli, {"-h"}));
+    cli.set_output(&second);
+    EXPECT_FALSE(parse(cli, {"--help"}));
+    EXPECT_EQ(first.str(), second.str());
+    EXPECT_EQ(first.str(), cli.usage());
+}
+
+TEST(CliParser, NullOutputStreamThrows) {
+    CliParser cli = make_parser();
+    EXPECT_THROW(cli.set_output(nullptr), relperf::InvalidArgument);
 }
 
 TEST(CliParser, UnknownOptionThrows) {

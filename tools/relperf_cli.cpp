@@ -5,11 +5,12 @@
 //! using the paper's methodology end to end:
 //!
 //!   $ relperf --input measurements.csv
-//!   $ relperf --input measurements.csv --n-max 30 --rep 200 \
-//!             --tie-epsilon 0.05 --out clusters.csv --matrix
+//!   $ relperf --input measurements.csv --rep 200 --out clusters.csv --matrix
 //!
-//! Input format (written by core::write_measurements_csv and by every bench's
-//! --csv option):
+//! Input format (written by core::write_measurements_csv and by the
+//! experiment benches' --csv option; bench_micro_kernels is the exception —
+//! its --csv emits google-benchmark's own CSV schema, which this tool does
+//! not read):
 //!
 //!   algorithm,measurement_index,seconds
 //!   algDDA,0,0.0406
