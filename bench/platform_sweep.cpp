@@ -3,48 +3,103 @@
 //! computing architecture"). Uses the analytic cost model with the built-in
 //! presets: Xeon+P100, Raspberry-Pi+LAN-server, smartphone+mobile-GPU and a
 //! symmetric CPU-only pair.
+//!
+//! The measurement phase routes through the campaign subsystem
+//! (src/campaign/): `--shards K` splits each platform's assignment list into
+//! K shards executed across `--workers` threads, and the merged clustering is
+//! bit-identical to the single-process path for every K (pass --verify to
+//! check that in-process). On a multi-core host, larger --shards/--workers
+//! shrink the measurement wall-clock.
 
 #include "bench_common.hpp"
+#include "campaign/campaign.hpp"
 #include "core/report.hpp"
-#include "sim/analytic.hpp"
+#include "support/csv.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
 #include "workloads/chain.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 using namespace relperf;
 
-int main(int argc, char** argv) {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+} // namespace
+
+int main(int argc, char** argv) try {
     support::CliParser cli("platform_sweep — clusters across edge platforms");
     bench::add_common_options(cli);
     cli.add_option("n", "measurements per algorithm", "30");
     cli.add_option("sizes", "comma-separated task sizes", "64,256");
     cli.add_option("iters", "loop iterations per task", "5");
+    cli.add_option("shards", "split each platform's campaign into K shards", "1");
+    cli.add_option("workers", "shard worker threads (0 = all cores)", "0");
+    cli.add_flag("verify", "also run the single-process path and check the "
+                           "sharded clustering is identical");
     if (!cli.parse(argc, argv)) return 0;
 
-    std::vector<std::size_t> sizes;
-    for (const std::string& field : str::split(cli.value("sizes"), ',')) {
-        sizes.push_back(static_cast<std::size_t>(std::stoul(field)));
-    }
-    const workloads::TaskChain chain = workloads::make_rls_chain(
-        sizes, static_cast<std::size_t>(cli.value_int("iters")));
-    const auto assignments = workloads::enumerate_assignments(chain.size());
-
-    const std::vector<sim::Platform> platforms = {
-        sim::paper_cpu_gpu_platform(), sim::rpi_server_platform(),
-        sim::smartphone_gpu_platform(), sim::cpu_only_platform()};
+    const std::vector<std::size_t> sizes =
+        str::parse_size_list(cli.value("sizes"), "--sizes");
+    const std::size_t iters = str::parse_size(cli.value("iters"), "--iters");
+    const std::size_t n = str::parse_size(cli.value("n"), "--n");
+    const std::size_t shards = str::parse_size(cli.value("shards"), "--shards");
+    const std::size_t workers = str::parse_size(cli.value("workers"), "--workers");
+    const core::AnalysisConfig config = bench::analysis_config(cli, n);
+    const auto assignments = workloads::enumerate_assignments(sizes.size());
 
     std::vector<std::string> header = {"Algorithm"};
     std::vector<core::AnalysisResult> results;
-    for (const sim::Platform& platform : platforms) {
-        const sim::AnalyticCostModel model(platform);
-        const sim::SimulatedExecutor executor(model, sim::NoiseModel{});
-        const core::AnalysisConfig config = bench::analysis_config(
-            cli, static_cast<std::size_t>(cli.value_int("n")));
-        results.push_back(
-            core::analyze_chain(executor, chain, assignments, config));
-        header.push_back(platform.name);
+    double measure_seconds = 0.0;
+    const campaign::LocalShardRunner runner(workers);
+
+    for (const std::string& preset : campaign::platform_preset_names()) {
+        campaign::CampaignSpec spec;
+        spec.name = preset;
+        spec.sizes = sizes;
+        spec.iters = iters;
+        spec.platform = preset;
+        spec.measurements = n;
+        spec.measurement_seed = config.measurement_seed;
+        spec.shards = shards;
+        spec.clustering_repetitions = config.clustering.repetitions;
+        spec.clustering_seed = config.clustering.seed;
+
+        const auto start = std::chrono::steady_clock::now();
+        const std::vector<campaign::ShardResult> shard_results =
+            runner.run(spec);
+        measure_seconds += seconds_since(start);
+
+        core::MeasurementSet merged = campaign::merge_shards(spec, shard_results);
+        results.push_back(core::analyze_measurements(std::move(merged),
+                                                     spec.analysis_config()));
+
+        if (cli.flag("verify")) {
+            const core::AnalysisResult solo = campaign::run_campaign(spec, 1, 1);
+            bool identical =
+                solo.clustering.cluster_count() ==
+                results.back().clustering.cluster_count();
+            for (std::size_t alg = 0; identical && alg < assignments.size();
+                 ++alg) {
+                identical = solo.clustering.final_rank(alg) ==
+                            results.back().clustering.final_rank(alg);
+            }
+            std::printf("%-32s sharded (K=%zu) clustering %s single-process\n",
+                        preset.c_str(), shards,
+                        identical ? "==" : "!=");
+            if (!identical) {
+                std::fputs("error: sharded clustering diverged\n", stderr);
+                return 1;
+            }
+        }
+        header.push_back(campaign::platform_preset(spec.platform).name);
     }
 
     bench::section("Final class of every split, per platform (chain sizes " +
@@ -61,10 +116,37 @@ int main(int argc, char** argv) {
     }
     std::fputs(table.render().c_str(), stdout);
 
+    std::printf("\nmeasurement campaigns: %zu platforms x %zu shards, "
+                "%s workers -> %s\n",
+                campaign::platform_preset_names().size(), shards,
+                workers == 0 ? "all" : std::to_string(workers).c_str(),
+                str::human_seconds(measure_seconds).c_str());
+
+    if (const auto csv_path = cli.value_optional("csv")) {
+        support::CsvWriter csv(*csv_path, {"platform", "algorithm",
+                                           "final_cluster", "mean_seconds"});
+        for (std::size_t p = 0; p < results.size(); ++p) {
+            for (std::size_t alg = 0; alg < assignments.size(); ++alg) {
+                csv.add_row({campaign::platform_preset_names()[p],
+                             assignments[alg].alg_name(),
+                             std::to_string(
+                                 results[p].clustering.final_rank(alg)),
+                             str::format("%.12g",
+                                         results[p]
+                                             .measurements.summary(alg)
+                                             .mean)});
+            }
+        }
+        std::printf("raw results written to %s\n", csv_path->c_str());
+    }
+
     std::printf(
         "\nReading: offload economics flip across platforms — the Raspberry Pi\n"
         "gains from offloading anything sizable despite its slow link, the\n"
         "smartphone's mobile GPU only pays off for the large task, and the\n"
         "symmetric CPU pair clusters every split together.\n");
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

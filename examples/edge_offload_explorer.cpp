@@ -32,10 +32,8 @@ int main(int argc, char** argv) {
     if (!cli.parse(argc, argv)) return 0;
 
     // 1. Describe the scientific code (Procedure 5 shape: serial stages).
-    std::vector<std::size_t> sizes;
-    for (const std::string& field : str::split(cli.value("sizes"), ',')) {
-        sizes.push_back(static_cast<std::size_t>(std::stoul(field)));
-    }
+    const std::vector<std::size_t> sizes =
+        str::parse_size_list(cli.value("sizes"), "--sizes");
     const workloads::TaskChain chain = workloads::make_rls_chain(
         sizes, static_cast<std::size_t>(cli.value_int("iters")),
         "digital-twin-chain");

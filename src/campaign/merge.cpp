@@ -1,0 +1,112 @@
+#include "campaign/merge.hpp"
+
+#include "campaign/runner.hpp"
+#include "campaign/sharder.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+#include <vector>
+
+namespace relperf::campaign {
+
+core::MeasurementSet merge_shards(const CampaignSpec& spec,
+                                  const std::vector<ShardResult>& shards) {
+    spec.validate();
+    RELPERF_REQUIRE(!shards.empty(), "merge_shards: no shards to merge");
+
+    const std::uint64_t expected_hash = spec.hash();
+    const std::size_t shard_count = shards.front().manifest.shard_count;
+    std::vector<const ShardResult*> by_index(shard_count, nullptr);
+
+    for (const ShardResult& shard : shards) {
+        const ShardManifest& m = shard.manifest;
+        if (m.spec_hash != expected_hash) {
+            throw Error(str::format(
+                "merge_shards: shard %zu was measured under a different plan "
+                "(manifest spec_hash %016llx, this spec hashes to %016llx) — "
+                "refusing to merge",
+                m.shard_index,
+                static_cast<unsigned long long>(m.spec_hash),
+                static_cast<unsigned long long>(expected_hash)));
+        }
+        if (m.shard_count != shard_count) {
+            throw Error(str::format(
+                "merge_shards: inconsistent shard counts (%zu vs %zu) — the "
+                "shards come from different campaign splits",
+                m.shard_count, shard_count));
+        }
+        if (m.shard_index >= shard_count) {
+            throw Error(str::format(
+                "merge_shards: shard index %zu out of range [0, %zu)",
+                m.shard_index, shard_count));
+        }
+        if (by_index[m.shard_index] != nullptr) {
+            throw Error(str::format("merge_shards: duplicate shard %zu/%zu",
+                                    m.shard_index, shard_count));
+        }
+        by_index[m.shard_index] = &shard;
+    }
+    for (std::size_t i = 0; i < shard_count; ++i) {
+        if (by_index[i] == nullptr) {
+            throw Error(str::format(
+                "merge_shards: shard %zu/%zu is missing (%zu of %zu present)",
+                i, shard_count, shards.size(), shard_count));
+        }
+    }
+
+    const std::vector<workloads::DeviceAssignment> assignments =
+        spec.assignments();
+    const Sharder sharder(assignments.size(), shard_count);
+
+    // Every shard must contain exactly its plan: the planned algorithms with
+    // N samples each.
+    for (std::size_t i = 0; i < shard_count; ++i) {
+        const ShardPlan plan = sharder.plan(i);
+        const core::MeasurementSet& set = by_index[i]->measurements;
+        if (set.size() != plan.assignment_indices.size()) {
+            throw Error(str::format(
+                "merge_shards: shard %zu holds %zu algorithms, plan expects "
+                "%zu",
+                i, set.size(), plan.assignment_indices.size()));
+        }
+        for (const std::size_t global : plan.assignment_indices) {
+            const std::string name = assignments[global].alg_name();
+            if (!set.contains(name)) {
+                throw Error(str::format(
+                    "merge_shards: shard %zu is missing algorithm %s",
+                    i, name.c_str()));
+            }
+            const std::size_t samples =
+                set.samples(set.index_of(name)).size();
+            if (samples != spec.measurements) {
+                throw Error(str::format(
+                    "merge_shards: shard %zu has %zu measurements of %s, "
+                    "spec demands N = %zu",
+                    i, samples, name.c_str(), spec.measurements));
+            }
+        }
+    }
+
+    // Stitch back in global enumeration order.
+    core::MeasurementSet merged;
+    for (std::size_t global = 0; global < assignments.size(); ++global) {
+        const core::MeasurementSet& set =
+            by_index[sharder.owner_of(global)]->measurements;
+        const std::string name = assignments[global].alg_name();
+        const auto samples = set.samples(set.index_of(name));
+        merged.add(name, {samples.begin(), samples.end()});
+    }
+    return merged;
+}
+
+core::AnalysisResult run_campaign(const CampaignSpec& spec,
+                                  std::size_t shard_count,
+                                  std::size_t workers) {
+    const LocalShardRunner runner(workers);
+    const std::vector<ShardResult> shards = runner.run(spec, shard_count);
+    core::MeasurementSet merged = merge_shards(spec, shards);
+    return core::analyze_measurements(std::move(merged),
+                                      spec.analysis_config());
+}
+
+} // namespace relperf::campaign

@@ -1,0 +1,36 @@
+#pragma once
+//! \file merge.hpp
+//! Merge-then-cluster: validate a set of shard results against the campaign
+//! spec and stitch them back into the unsharded MeasurementSet, then hand it
+//! to the standard analysis. Validation is strict — a merge over shards from
+//! a different plan (spec hash mismatch), a duplicate shard, a missing shard
+//! or a shard whose contents disagree with its plan is a hard error, because
+//! a silently wrong merge would produce a confidently wrong clustering.
+
+#include "campaign/shard_io.hpp"
+#include "campaign/spec.hpp"
+#include "core/pipeline.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace relperf::campaign {
+
+/// Validates `shards` against `spec` and returns the merged MeasurementSet
+/// in global enumeration order — bit-identical to what the single-process
+/// pipeline measures. Shards may arrive in any order. Throws relperf::Error
+/// on: empty input, spec-hash mismatch, inconsistent or duplicate shard
+/// indices, missing shards, or per-shard contents that do not match the
+/// shard's plan (wrong algorithms or sample counts).
+[[nodiscard]] core::MeasurementSet merge_shards(
+    const CampaignSpec& spec, const std::vector<ShardResult>& shards);
+
+/// Convenience single-host campaign: run all shards (LocalShardRunner with
+/// `workers` threads), merge, cluster. shard_count = 0 uses spec.shards.
+/// Produces the exact AnalysisResult of core::analyze_chain on the same
+/// plan, for every choice of shard_count and workers.
+[[nodiscard]] core::AnalysisResult run_campaign(const CampaignSpec& spec,
+                                                std::size_t shard_count = 0,
+                                                std::size_t workers = 1);
+
+} // namespace relperf::campaign

@@ -1,0 +1,132 @@
+#include "campaign/runner.hpp"
+
+#include "campaign/sharder.hpp"
+#include "sim/analytic.hpp"
+#include "sim/executor.hpp"
+#include "sim/real_executor.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace relperf::campaign {
+
+namespace {
+
+std::size_t effective_shard_count(const CampaignSpec& spec,
+                                  std::size_t shard_count) {
+    return shard_count == 0 ? spec.shards : shard_count;
+}
+
+/// Measures the assignments of `plan` with the spec's executor. Each
+/// assignment runs on the stream derived from its global index, making the
+/// result identical to the corresponding slice of the unsharded pipeline.
+core::MeasurementSet measure_plan(const CampaignSpec& spec,
+                                  const ShardPlan& plan) {
+    const workloads::TaskChain chain = spec.chain();
+    const std::vector<workloads::DeviceAssignment> assignments =
+        spec.assignments();
+
+    core::MeasurementSet set;
+    const auto stream_for = [&](std::size_t global_index) {
+        return stats::Rng(
+            core::assignment_stream_seed(spec.measurement_seed, global_index));
+    };
+
+    if (spec.executor == ExecutorKind::Sim) {
+        const sim::AnalyticCostModel model(platform_preset(spec.platform));
+        const sim::SimulatedExecutor executor(model, sim::NoiseModel{});
+        for (const std::size_t index : plan.assignment_indices) {
+            stats::Rng stream = stream_for(index);
+            set.add(assignments[index].alg_name(),
+                    executor.measure(chain, assignments[index],
+                                     spec.measurements, stream));
+        }
+    } else {
+        const sim::EmulatedDevice device{spec.device_threads, 0.0, 0.0};
+        const sim::EmulatedDevice accelerator{spec.accelerator_threads,
+                                              spec.dispatch_delay_us * 1e-6,
+                                              spec.switch_delay_us * 1e-6};
+        const sim::RealExecutor executor(device, accelerator);
+        for (const std::size_t index : plan.assignment_indices) {
+            stats::Rng stream = stream_for(index);
+            set.add(assignments[index].alg_name(),
+                    executor.measure(chain, assignments[index],
+                                     spec.measurements, stream, spec.warmup));
+        }
+    }
+    return set;
+}
+
+} // namespace
+
+ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
+                      std::size_t shard_count) {
+    spec.validate();
+    const std::size_t count = effective_shard_count(spec, shard_count);
+    const Sharder sharder(spec.assignments().size(), count);
+
+    ShardResult result;
+    result.manifest.spec_hash = spec.hash();
+    result.manifest.shard_index = shard_index;
+    result.manifest.shard_count = count;
+    result.manifest.campaign = spec.name;
+    result.manifest.host = host_name();
+    result.measurements = measure_plan(spec, sharder.plan(shard_index));
+    return result;
+}
+
+LocalShardRunner::LocalShardRunner(std::size_t workers) : workers_(workers) {
+    if (workers_ == 0) {
+        workers_ = std::max(1u, std::thread::hardware_concurrency());
+    }
+}
+
+std::vector<ShardResult> LocalShardRunner::run(const CampaignSpec& spec,
+                                               std::size_t shard_count) const {
+    spec.validate();
+    const std::size_t count = effective_shard_count(spec, shard_count);
+    // Validate K against the assignment count before spawning anything.
+    (void)Sharder(spec.assignments().size(), count);
+
+    // Real campaigns measure wall-clock time on this machine: concurrent
+    // shards would measure each other's contention, so run them serially.
+    const std::size_t threads =
+        spec.executor == ExecutorKind::Real ? 1 : std::min(workers_, count);
+
+    std::vector<ShardResult> results(count);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            results[i] = run_shard(spec, i, count);
+        }
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            while (true) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= count) return;
+                try {
+                    results[i] = run_shard(spec, i, count);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error) first_error = std::current_exception();
+                }
+            }
+        });
+    }
+    for (std::thread& worker : pool) worker.join();
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+}
+
+} // namespace relperf::campaign

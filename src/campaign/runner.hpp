@@ -1,0 +1,44 @@
+#pragma once
+//! \file runner.hpp
+//! Shard execution. run_shard() measures exactly the assignments a shard
+//! owns, on per-assignment RNG streams derived from the campaign's
+//! measurement seed and each assignment's *global* index
+//! (core::assignment_stream_seed) — so the union of all shards reproduces
+//! the single-process pipeline bit-for-bit, no matter where or in which
+//! order the shards ran. LocalShardRunner fans the shards of one campaign
+//! out across worker threads on this machine.
+
+#include "campaign/shard_io.hpp"
+#include "campaign/spec.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace relperf::campaign {
+
+/// Measures shard `shard_index` of `spec`'s plan split into `shard_count`
+/// shards. Pass shard_count = 0 to use spec.shards. The result's manifest
+/// carries the spec hash, the shard reference and this host's name.
+[[nodiscard]] ShardResult run_shard(const CampaignSpec& spec,
+                                    std::size_t shard_index,
+                                    std::size_t shard_count = 0);
+
+/// Runs every shard of a campaign on this machine.
+class LocalShardRunner {
+public:
+    /// `workers` = maximum concurrent shard threads; 0 means one per
+    /// hardware thread. Campaigns with ExecutorKind::Real always run their
+    /// shards sequentially regardless of `workers`: concurrent wall-clock
+    /// measurement on one machine would contend for the CPUs being measured.
+    explicit LocalShardRunner(std::size_t workers = 0);
+
+    /// Runs all `shard_count` (0 = spec.shards) shards; returns them ordered
+    /// by shard index. The first worker exception, if any, is rethrown.
+    [[nodiscard]] std::vector<ShardResult> run(const CampaignSpec& spec,
+                                               std::size_t shard_count = 0) const;
+
+private:
+    std::size_t workers_;
+};
+
+} // namespace relperf::campaign

@@ -1,0 +1,175 @@
+#include "campaign/shard_io.hpp"
+
+#include "core/io.hpp"
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <glob.h>
+#include <unistd.h>
+#define RELPERF_HAVE_POSIX 1
+#else
+#define RELPERF_HAVE_POSIX 0
+#endif
+
+namespace relperf::campaign {
+
+std::string host_name() {
+#if RELPERF_HAVE_POSIX
+    char buf[256] = {};
+    if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+        return buf;
+    }
+#endif
+    return "unknown";
+}
+
+void write_shard_csv(const ShardResult& shard, const std::string& path) {
+    RELPERF_REQUIRE(!shard.measurements.empty(),
+                    "write_shard_csv: shard has no measurements");
+    std::ofstream out(path);
+    if (!out) {
+        throw Error("write_shard_csv: cannot open '" + path + "'");
+    }
+    const ShardManifest& m = shard.manifest;
+    out << "# relperf-shard v1\n";
+    out << "# campaign = " << m.campaign << '\n';
+    out << "# spec_hash = " << str::format("%016llx",
+                                           static_cast<unsigned long long>(
+                                               m.spec_hash))
+        << '\n';
+    out << "# shard_index = " << m.shard_index << '\n';
+    out << "# shard_count = " << m.shard_count << '\n';
+    out << "# host = " << m.host << '\n';
+    out << "algorithm,measurement_index,seconds\n";
+    for (std::size_t i = 0; i < shard.measurements.size(); ++i) {
+        const auto samples = shard.measurements.samples(i);
+        const std::string name =
+            support::csv_escape(shard.measurements.name(i));
+        for (std::size_t k = 0; k < samples.size(); ++k) {
+            out << name << ',' << k << ','
+                << str::format("%.17g", samples[k]) << '\n';
+        }
+    }
+    if (!out) {
+        throw Error("write_shard_csv: failed writing '" + path + "'");
+    }
+}
+
+ShardResult read_shard_csv(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw Error("read_shard_csv: cannot open '" + path + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+
+    // Manifest: `# key = value` comment lines before the CSV header.
+    ShardResult out;
+    std::set<std::string> seen;
+    std::istringstream lines(content);
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(lines, line)) {
+        ++line_number;
+        const std::string_view trimmed = str::trim(line);
+        if (trimmed.empty()) continue;
+        if (trimmed.front() != '#') break; // CSV part begins
+        const std::string_view body = str::trim(trimmed.substr(1));
+        const std::size_t eq = body.find('=');
+        if (eq == std::string_view::npos) continue; // plain comment
+        const std::string key(str::trim(body.substr(0, eq)));
+        const std::string value(str::trim(body.substr(eq + 1)));
+        const auto fail = [&](const std::string& message) -> void {
+            throw Error(str::format("%s:%zu: %s", path.c_str(), line_number,
+                                    message.c_str()));
+        };
+        if (!key.empty() && !seen.insert(key).second) {
+            fail("duplicate manifest key '" + key + "'");
+        }
+        try {
+            if (key == "spec_hash") {
+                out.manifest.spec_hash = str::parse_u64("0x" + value, key);
+            } else if (key == "shard_index") {
+                out.manifest.shard_index = str::parse_size(value, key);
+            } else if (key == "shard_count") {
+                out.manifest.shard_count = str::parse_size(value, key);
+            } else if (key == "campaign") {
+                out.manifest.campaign = value;
+            } else if (key == "host") {
+                out.manifest.host = value;
+            }
+            // Unknown keys are ignored: forward compatibility for future
+            // manifest fields.
+        } catch (const Error& e) {
+            fail(e.what());
+        }
+    }
+
+    for (const char* required : {"spec_hash", "shard_index", "shard_count"}) {
+        if (!seen.count(required)) {
+            throw Error(path + ": not a relperf shard file (missing '# " +
+                        required + " = ...' manifest line)");
+        }
+    }
+    if (out.manifest.shard_index >= out.manifest.shard_count) {
+        throw Error(str::format("%s: manifest shard_index %zu must be below "
+                                "shard_count %zu",
+                                path.c_str(), out.manifest.shard_index,
+                                out.manifest.shard_count));
+    }
+
+    // The measurement rows (comments are skipped by the core parser).
+    out.measurements = core::parse_measurements_csv(content, path);
+    return out;
+}
+
+std::vector<std::string> expand_shard_pattern(const std::string& pattern) {
+    RELPERF_REQUIRE(!str::trim(pattern).empty(),
+                    "expand_shard_pattern: empty pattern");
+    std::vector<std::string> paths;
+    if (pattern.find_first_of("*?[") != std::string::npos) {
+#if RELPERF_HAVE_POSIX
+        glob_t results{};
+        const int rc = glob(pattern.c_str(), 0, nullptr, &results);
+        if (rc == 0) {
+            for (std::size_t i = 0; i < results.gl_pathc; ++i) {
+                paths.emplace_back(results.gl_pathv[i]);
+            }
+        }
+        globfree(&results);
+        if (rc != 0 && rc != GLOB_NOMATCH) {
+            throw Error("expand_shard_pattern: glob failed on '" + pattern +
+                        "'");
+        }
+        if (paths.empty()) {
+            throw Error("expand_shard_pattern: no files match '" + pattern +
+                        "'");
+        }
+        std::sort(paths.begin(), paths.end());
+        return paths;
+#else
+        throw Error("expand_shard_pattern: glob patterns are not supported "
+                    "on this platform; pass a comma-separated list of shard "
+                    "files instead of '" + pattern + "'");
+#endif
+    }
+    for (const std::string& field : str::split(pattern, ',')) {
+        const std::string path(str::trim(field));
+        if (!path.empty()) paths.push_back(path);
+    }
+    if (paths.empty()) {
+        throw Error("expand_shard_pattern: no paths in '" + pattern + "'");
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+} // namespace relperf::campaign

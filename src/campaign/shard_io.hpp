@@ -1,0 +1,63 @@
+#pragma once
+//! \file shard_io.hpp
+//! Persistence of one shard's output: the standard measurements CSV
+//! (`algorithm,measurement_index,seconds`, readable by core::io and by
+//! relperf_cli --input) prefixed with a small manifest in `#` comment lines
+//! — spec hash, shard index/count, campaign label and producing host — so a
+//! merge on the collecting machine can verify every file belongs to the same
+//! measurement plan before clustering.
+//!
+//! Example file:
+//!
+//!     # relperf-shard v1
+//!     # campaign = edge-sweep
+//!     # spec_hash = 9e1b7c2a44f00d1c
+//!     # shard_index = 0
+//!     # shard_count = 4
+//!     # host = rpi-kitchen
+//!     algorithm,measurement_index,seconds
+//!     algDDD,0,0.0406...
+
+#include "core/measurement.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relperf::campaign {
+
+/// Provenance header of a shard file.
+struct ShardManifest {
+    std::uint64_t spec_hash = 0;  ///< CampaignSpec::hash() of the plan.
+    std::size_t shard_index = 0;  ///< i in [0, K).
+    std::size_t shard_count = 1;  ///< K.
+    std::string campaign;         ///< Spec label (informational).
+    std::string host;             ///< Producing host name (informational).
+};
+
+/// One shard's manifest plus its measured distributions (the algorithms of
+/// the shard's assignment plan, in plan order).
+struct ShardResult {
+    ShardManifest manifest;
+    core::MeasurementSet measurements;
+};
+
+/// Best-effort name of this machine ("unknown" when unavailable).
+[[nodiscard]] std::string host_name();
+
+/// Writes `shard` to `path` in the format above. Values use round-trip
+/// precision (%.17g) so a merge of written shards is bit-identical to an
+/// in-memory merge. Throws relperf::Error on I/O failure.
+void write_shard_csv(const ShardResult& shard, const std::string& path);
+
+/// Reads a shard file; throws relperf::Error naming the file (and line, for
+/// malformed content) on missing/incomplete manifests or bad measurement rows.
+[[nodiscard]] ShardResult read_shard_csv(const std::string& path);
+
+/// Expands a shard-file pattern into sorted paths: a POSIX glob when the
+/// pattern contains metacharacters (`*?[`), otherwise a comma-separated list
+/// of literal paths. Throws when nothing matches.
+[[nodiscard]] std::vector<std::string> expand_shard_pattern(
+    const std::string& pattern);
+
+} // namespace relperf::campaign

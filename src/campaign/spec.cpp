@@ -1,0 +1,261 @@
+#include "campaign/spec.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "workloads/assignment.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace relperf::campaign {
+
+const char* to_string(ExecutorKind kind) noexcept {
+    return kind == ExecutorKind::Sim ? "sim" : "real";
+}
+
+ExecutorKind executor_kind_from_string(const std::string& text) {
+    if (text == "sim") return ExecutorKind::Sim;
+    if (text == "real") return ExecutorKind::Real;
+    throw InvalidArgument("executor must be 'sim' or 'real', got '" + text +
+                          "'");
+}
+
+const std::vector<std::string>& platform_preset_names() {
+    static const std::vector<std::string> names = {
+        "paper-cpu-gpu", "rpi-server", "smartphone-gpu", "cpu-only"};
+    return names;
+}
+
+sim::Platform platform_preset(const std::string& name) {
+    if (name == "paper-cpu-gpu") return sim::paper_cpu_gpu_platform();
+    if (name == "rpi-server") return sim::rpi_server_platform();
+    if (name == "smartphone-gpu") return sim::smartphone_gpu_platform();
+    if (name == "cpu-only") return sim::cpu_only_platform();
+    throw InvalidArgument("unknown platform preset '" + name + "' (known: " +
+                          str::join(platform_preset_names(), ", ") + ")");
+}
+
+void CampaignSpec::validate() const {
+    RELPERF_REQUIRE(!name.empty(), "campaign: name must not be empty");
+    RELPERF_REQUIRE(!sizes.empty(), "campaign: sizes must not be empty");
+    for (const std::size_t s : sizes) {
+        RELPERF_REQUIRE(s > 0, "campaign: task sizes must be positive");
+    }
+    RELPERF_REQUIRE(sizes.size() <= 16,
+                    "campaign: more than 16 tasks means more than 65536 "
+                    "assignments — not a sensible campaign");
+    RELPERF_REQUIRE(iters > 0, "campaign: iters must be positive");
+    RELPERF_REQUIRE(measurements > 0,
+                    "campaign: measurements (N) must be positive");
+    RELPERF_REQUIRE(shards > 0, "campaign: shards (K) must be positive");
+    RELPERF_REQUIRE(device_threads >= 0 && accelerator_threads >= 0,
+                    "campaign: thread counts must be non-negative");
+    RELPERF_REQUIRE(dispatch_delay_us >= 0.0 && switch_delay_us >= 0.0,
+                    "campaign: delays must be non-negative");
+    RELPERF_REQUIRE(clustering_repetitions > 0,
+                    "campaign: clustering repetitions must be positive");
+    RELPERF_REQUIRE(bootstrap_rounds > 0,
+                    "campaign: bootstrap rounds must be positive");
+    RELPERF_REQUIRE(tie_epsilon >= 0.0, "campaign: tie_epsilon must be >= 0");
+    RELPERF_REQUIRE(decision_threshold > 0.5 && decision_threshold <= 1.0,
+                    "campaign: decision_threshold must be in (0.5, 1]");
+    if (executor == ExecutorKind::Sim) {
+        (void)platform_preset(platform); // throws on unknown names
+    }
+}
+
+namespace {
+
+std::string sizes_to_text(const std::vector<std::size_t>& sizes) {
+    std::vector<std::string> parts;
+    parts.reserve(sizes.size());
+    for (const std::size_t s : sizes) parts.push_back(std::to_string(s));
+    return str::join(parts, ",");
+}
+
+} // namespace
+
+std::string CampaignSpec::to_text() const {
+    std::ostringstream out;
+    out << "# relperf campaign spec\n";
+    out << "campaign = " << name << '\n';
+    out << "sizes = " << sizes_to_text(sizes) << '\n';
+    out << "iters = " << iters << '\n';
+    out << "executor = " << to_string(executor) << '\n';
+    out << "platform = " << platform << '\n';
+    out << "measurements = " << measurements << '\n';
+    out << "measurement_seed = " << measurement_seed << '\n';
+    out << "device_threads = " << device_threads << '\n';
+    out << "accelerator_threads = " << accelerator_threads << '\n';
+    out << "dispatch_delay_us = " << str::format("%.12g", dispatch_delay_us)
+        << '\n';
+    out << "switch_delay_us = " << str::format("%.12g", switch_delay_us)
+        << '\n';
+    out << "warmup = " << warmup << '\n';
+    out << "shards = " << shards << '\n';
+    out << "clustering_repetitions = " << clustering_repetitions << '\n';
+    out << "clustering_seed = " << clustering_seed << '\n';
+    out << "bootstrap_rounds = " << bootstrap_rounds << '\n';
+    out << "tie_epsilon = " << str::format("%.12g", tie_epsilon) << '\n';
+    out << "decision_threshold = " << str::format("%.12g", decision_threshold)
+        << '\n';
+    return out.str();
+}
+
+CampaignSpec CampaignSpec::parse(const std::string& text,
+                                 const std::string& source) {
+    CampaignSpec spec;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_number = 0;
+    std::set<std::string> seen;
+
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (line_number == 1 && str::starts_with(line, "\xEF\xBB\xBF")) {
+            line.erase(0, 3);
+        }
+        const std::string_view trimmed = str::trim(line);
+        if (trimmed.empty() || trimmed.front() == '#') continue;
+
+        const auto fail = [&](const std::string& message) -> void {
+            throw Error(str::format("%s:%zu: %s", source.c_str(), line_number,
+                                    message.c_str()));
+        };
+
+        const std::size_t eq = trimmed.find('=');
+        if (eq == std::string_view::npos) {
+            fail("expected 'key = value', got '" + std::string(trimmed) + "'");
+        }
+        const std::string key(str::trim(trimmed.substr(0, eq)));
+        const std::string value(str::trim(trimmed.substr(eq + 1)));
+        if (key.empty()) fail("empty key");
+        if (!seen.insert(key).second) fail("duplicate key '" + key + "'");
+
+        bool known = true;
+        try {
+            if (key == "campaign") {
+                spec.name = value;
+            } else if (key == "sizes") {
+                spec.sizes = str::parse_size_list(value, key);
+            } else if (key == "iters") {
+                spec.iters = str::parse_size(value, key);
+            } else if (key == "executor") {
+                spec.executor = executor_kind_from_string(value);
+            } else if (key == "platform") {
+                spec.platform = value;
+            } else if (key == "measurements") {
+                spec.measurements = str::parse_size(value, key);
+            } else if (key == "measurement_seed") {
+                spec.measurement_seed = str::parse_u64(value, key);
+            } else if (key == "device_threads") {
+                spec.device_threads = static_cast<int>(str::parse_size(value, key));
+            } else if (key == "accelerator_threads") {
+                spec.accelerator_threads =
+                    static_cast<int>(str::parse_size(value, key));
+            } else if (key == "dispatch_delay_us") {
+                spec.dispatch_delay_us = str::parse_double(value, key);
+            } else if (key == "switch_delay_us") {
+                spec.switch_delay_us = str::parse_double(value, key);
+            } else if (key == "warmup") {
+                spec.warmup = str::parse_size(value, key);
+            } else if (key == "shards") {
+                spec.shards = str::parse_size(value, key);
+            } else if (key == "clustering_repetitions") {
+                spec.clustering_repetitions = str::parse_size(value, key);
+            } else if (key == "clustering_seed") {
+                spec.clustering_seed = str::parse_u64(value, key);
+            } else if (key == "bootstrap_rounds") {
+                spec.bootstrap_rounds = str::parse_size(value, key);
+            } else if (key == "tie_epsilon") {
+                spec.tie_epsilon = str::parse_double(value, key);
+            } else if (key == "decision_threshold") {
+                spec.decision_threshold = str::parse_double(value, key);
+            } else {
+                known = false; // reported below, outside the re-anchoring catch
+            }
+        } catch (const Error& e) {
+            // Re-anchor value errors (parse_size etc.) to file + line.
+            fail(e.what());
+        }
+        if (!known) fail("unknown key '" + key + "'");
+    }
+
+    try {
+        spec.validate();
+    } catch (const Error& e) {
+        throw Error(source + ": invalid campaign spec: " + e.what());
+    }
+    return spec;
+}
+
+CampaignSpec CampaignSpec::load(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw Error("campaign: cannot open spec '" + path + "'");
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    return parse(content.str(), path);
+}
+
+void CampaignSpec::save(const std::string& path) const {
+    validate();
+    std::ofstream out(path);
+    if (!out) {
+        throw Error("campaign: cannot write spec '" + path + "'");
+    }
+    out << to_text();
+    if (!out) {
+        throw Error("campaign: failed writing spec '" + path + "'");
+    }
+}
+
+std::uint64_t CampaignSpec::hash() const {
+    // Canonical text of the measurement plan only (see header).
+    std::ostringstream plan;
+    plan << "sizes=" << sizes_to_text(sizes) << ";iters=" << iters
+         << ";executor=" << to_string(executor);
+    if (executor == ExecutorKind::Sim) {
+        plan << ";platform=" << platform;
+    } else {
+        plan << ";device_threads=" << device_threads
+             << ";accelerator_threads=" << accelerator_threads
+             << ";dispatch_delay_us=" << str::format("%.12g", dispatch_delay_us)
+             << ";switch_delay_us=" << str::format("%.12g", switch_delay_us)
+             << ";warmup=" << warmup;
+    }
+    plan << ";measurements=" << measurements
+         << ";measurement_seed=" << measurement_seed;
+
+    // FNV-1a 64-bit.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : plan.str()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+workloads::TaskChain CampaignSpec::chain() const {
+    return workloads::make_rls_chain(sizes, iters, name + "-chain");
+}
+
+std::vector<workloads::DeviceAssignment> CampaignSpec::assignments() const {
+    return workloads::enumerate_assignments(sizes.size());
+}
+
+core::AnalysisConfig CampaignSpec::analysis_config() const {
+    core::AnalysisConfig config;
+    config.measurements_per_alg = measurements;
+    config.measurement_seed = measurement_seed;
+    config.comparator.rounds = bootstrap_rounds;
+    config.comparator.tie_epsilon = tie_epsilon;
+    config.comparator.decision_threshold = decision_threshold;
+    config.clustering.repetitions = clustering_repetitions;
+    config.clustering.seed = clustering_seed;
+    return config;
+}
+
+} // namespace relperf::campaign

@@ -1,0 +1,104 @@
+#pragma once
+//! \file spec.hpp
+//! CampaignSpec — the serializable description of a measurement campaign:
+//! which chain to measure (RLS task sizes + loop iterations), on which
+//! executor (simulated platform preset or the real machine), how many
+//! measurements per algorithm, and the analysis knobs. One spec file is
+//! shipped to every shard runner; its hash ties shard outputs back to the
+//! plan so a merge can reject results produced under a different plan.
+
+#include "core/pipeline.hpp"
+#include "sim/spec.hpp"
+#include "workloads/chain.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relperf::campaign {
+
+/// Which measurement apparatus a campaign uses.
+enum class ExecutorKind {
+    Sim,  ///< SimulatedExecutor over an AnalyticCostModel platform preset.
+    Real, ///< RealExecutor (wall-clock on the machine running the shard).
+};
+
+[[nodiscard]] const char* to_string(ExecutorKind kind) noexcept;
+[[nodiscard]] ExecutorKind executor_kind_from_string(const std::string& text);
+
+/// The full, serializable campaign plan. All fields have workable defaults;
+/// validate() enforces ranges.
+struct CampaignSpec {
+    std::string name = "campaign"; ///< Label, recorded in shard manifests.
+
+    // Workload: the generic RLS chain (paper Procedure 5 shape).
+    std::vector<std::size_t> sizes = {50, 75, 300}; ///< Task sizes.
+    std::size_t iters = 10;                         ///< Loop iterations/task.
+
+    // Measurement plan.
+    ExecutorKind executor = ExecutorKind::Sim;
+    std::string platform = "paper-cpu-gpu"; ///< Sim preset (see platform_preset).
+    std::size_t measurements = 30;          ///< Paper's N, per algorithm.
+    std::uint64_t measurement_seed = 0xFEEDULL;
+
+    // Real-executor emulation knobs (paper footnote 2), ignored for Sim.
+    int device_threads = 1;        ///< OpenMP team of the emulated Device.
+    int accelerator_threads = 0;   ///< 0 = all hardware threads.
+    double dispatch_delay_us = 200.0; ///< Per-launch delay on the Accelerator.
+    double switch_delay_us = 100.0;   ///< Delay when entering the Accelerator.
+    std::size_t warmup = 1;           ///< Unrecorded runs per algorithm.
+
+    // Default shard count (K). `relperf_cli --shard i/K` may override K; the
+    // measurement plan — and therefore hash() — does not depend on it.
+    std::size_t shards = 1;
+
+    // Analysis knobs (paper Rep / R / epsilon / theta).
+    std::size_t clustering_repetitions = 100;
+    std::uint64_t clustering_seed = 42;
+    std::size_t bootstrap_rounds = 100;
+    double tie_epsilon = 0.02;
+    double decision_threshold = 0.9;
+
+    /// Throws InvalidArgument on out-of-range fields.
+    void validate() const;
+
+    /// INI-style `key = value` serialization (round-trips through parse).
+    [[nodiscard]] std::string to_text() const;
+
+    /// Parses to_text() output. Unknown or duplicate keys, malformed values
+    /// and junk lines are errors naming `source` and the 1-based line number.
+    /// Blank lines, `#` comments and CRLF endings are tolerated.
+    [[nodiscard]] static CampaignSpec parse(const std::string& text,
+                                            const std::string& source =
+                                                "<string>");
+
+    [[nodiscard]] static CampaignSpec load(const std::string& path);
+    void save(const std::string& path) const;
+
+    /// FNV-1a hash of the *measurement plan* — the fields that determine
+    /// measured values (workload, executor, platform, N, seed, real-executor
+    /// knobs). The label, the default shard count and the analysis knobs are
+    /// excluded: they cannot change any measurement, so shards stay mergeable
+    /// across K choices and analysis re-runs. merge_shards enforces equality.
+    [[nodiscard]] std::uint64_t hash() const;
+
+    /// The chain this campaign measures.
+    [[nodiscard]] workloads::TaskChain chain() const;
+
+    /// The 2^tasks device assignments, in enumeration order. Positions in
+    /// this list are the global assignment indices the sharder partitions.
+    [[nodiscard]] std::vector<workloads::DeviceAssignment> assignments() const;
+
+    /// Analysis configuration carrying the spec's knobs.
+    [[nodiscard]] core::AnalysisConfig analysis_config() const;
+};
+
+/// Maps a preset name to its sim::Platform. Known names:
+/// "paper-cpu-gpu", "rpi-server", "smartphone-gpu", "cpu-only".
+/// Throws InvalidArgument on unknown names (message lists the options).
+[[nodiscard]] sim::Platform platform_preset(const std::string& name);
+
+/// The accepted platform_preset names.
+[[nodiscard]] const std::vector<std::string>& platform_preset_names();
+
+} // namespace relperf::campaign

@@ -3,6 +3,8 @@
 #include "support/error.hpp"
 #include "support/str.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -43,40 +45,78 @@ std::vector<std::string> split_csv_row(const std::string& line) {
     return fields;
 }
 
+/// True for lines the parser ignores: blank (or CRLF-only) and `#` comments
+/// (campaign shard files carry their manifest in comment lines).
+bool is_skippable(const std::string& line) {
+    const std::string_view t = str::trim(line);
+    return t.empty() || t.front() == '#';
+}
+
+[[noreturn]] void fail_at(const std::string& source, std::size_t line_number,
+                          const std::string& message) {
+    throw Error(str::format("%s:%zu: %s", source.c_str(), line_number,
+                            message.c_str()));
+}
+
 } // namespace
 
-MeasurementSet parse_measurements_csv(const std::string& content) {
+MeasurementSet parse_measurements_csv(const std::string& content,
+                                      const std::string& source) {
     std::istringstream in(content);
     std::string line;
-    RELPERF_REQUIRE(static_cast<bool>(std::getline(in, line)),
-                    "read_measurements_csv: empty file");
+    std::size_t line_number = 0;
+
+    // Header: first non-blank, non-comment line (UTF-8 BOM tolerated).
+    bool have_header = false;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (line_number == 1 && str::starts_with(line, "\xEF\xBB\xBF")) {
+            line.erase(0, 3);
+        }
+        if (is_skippable(line)) continue;
+        have_header = true;
+        break;
+    }
+    if (!have_header) {
+        throw Error(source + ": no measurement rows (empty file?)");
+    }
     const std::vector<std::string> header = split_csv_row(line);
-    RELPERF_REQUIRE(header.size() == 3 && header[0] == "algorithm" &&
-                        header[2] == "seconds",
-                    "read_measurements_csv: expected header "
-                    "'algorithm,measurement_index,seconds'");
+    if (header.size() != 3 || header[0] != "algorithm" ||
+        header[2] != "seconds") {
+        fail_at(source, line_number,
+                "expected header 'algorithm,measurement_index,seconds', got '" +
+                    line + "'");
+    }
 
     // Preserve first-seen algorithm order.
     std::vector<std::string> order;
     std::map<std::string, std::vector<double>> samples;
-    std::size_t row_number = 1;
     while (std::getline(in, line)) {
-        ++row_number;
-        if (str::trim(line).empty()) continue;
+        ++line_number;
+        if (is_skippable(line)) continue;
         const std::vector<std::string> fields = split_csv_row(line);
-        RELPERF_REQUIRE(fields.size() == 3,
-                        str::format("read_measurements_csv: row %zu has %zu "
-                                    "fields, expected 3",
-                                    row_number, fields.size()));
+        if (fields.size() != 3) {
+            fail_at(source, line_number,
+                    str::format("row has %zu fields, expected 3",
+                                fields.size()));
+        }
         const std::string& name = fields[0];
+        if (name.empty()) {
+            fail_at(source, line_number, "empty algorithm name");
+        }
+        errno = 0;
         char* end = nullptr;
         const double value = std::strtod(fields[2].c_str(), &end);
-        RELPERF_REQUIRE(end != nullptr && *end == '\0' && !fields[2].empty(),
-                        str::format("read_measurements_csv: bad value '%s' in "
-                                    "row %zu",
-                                    fields[2].c_str(), row_number));
+        if (fields[2].empty() || end == nullptr || *end != '\0' ||
+            errno == ERANGE || !std::isfinite(value)) {
+            fail_at(source, line_number,
+                    "bad seconds value '" + fields[2] + "'");
+        }
         if (!samples.count(name)) order.push_back(name);
         samples[name].push_back(value);
+    }
+    if (order.empty()) {
+        throw Error(source + ": no measurement rows after the header");
     }
 
     MeasurementSet set;
@@ -93,7 +133,7 @@ MeasurementSet read_measurements_csv(const std::string& path) {
     }
     std::ostringstream content;
     content << in.rdbuf();
-    return parse_measurements_csv(content.str());
+    return parse_measurements_csv(content.str(), path);
 }
 
 } // namespace relperf::core

@@ -4,14 +4,21 @@
 
 namespace relperf::core {
 
+std::uint64_t assignment_stream_seed(std::uint64_t master_seed,
+                                     std::size_t index) noexcept {
+    return stats::Rng(master_seed).child(index).seed();
+}
+
 MeasurementSet measure_assignments(
     const sim::SimulatedExecutor& executor, const workloads::TaskChain& chain,
     const std::vector<workloads::DeviceAssignment>& assignments, std::size_t n,
     stats::Rng& rng) {
     RELPERF_REQUIRE(!assignments.empty(), "measure_assignments: no assignments");
     MeasurementSet set;
-    for (const workloads::DeviceAssignment& assignment : assignments) {
-        set.add(assignment.alg_name(), executor.measure(chain, assignment, n, rng));
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        stats::Rng stream = rng.child(i);
+        set.add(assignments[i].alg_name(),
+                executor.measure(chain, assignments[i], n, stream));
     }
     return set;
 }
@@ -22,9 +29,10 @@ MeasurementSet measure_assignments_real(
     stats::Rng& rng, std::size_t warmup) {
     RELPERF_REQUIRE(!assignments.empty(), "measure_assignments_real: no assignments");
     MeasurementSet set;
-    for (const workloads::DeviceAssignment& assignment : assignments) {
-        set.add(assignment.alg_name(),
-                executor.measure(chain, assignment, n, rng, warmup));
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        stats::Rng stream = rng.child(i);
+        set.add(assignments[i].alg_name(),
+                executor.measure(chain, assignments[i], n, stream, warmup));
     }
     return set;
 }

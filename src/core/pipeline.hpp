@@ -12,18 +12,34 @@
 #include "sim/real_executor.hpp"
 #include "workloads/chain.hpp"
 
+#include <cstdint>
 #include <vector>
 
 namespace relperf::core {
 
+/// Seed of the independent measurement stream used for the assignment at
+/// position `index` when the master rng was constructed from `master_seed`.
+/// This is the sharding contract: a campaign shard that measures assignment
+/// `index` with `stats::Rng(assignment_stream_seed(seed, index))` reproduces
+/// the unsharded run bit-for-bit, regardless of which shard runs it or when.
+[[nodiscard]] std::uint64_t assignment_stream_seed(std::uint64_t master_seed,
+                                                   std::size_t index) noexcept;
+
 /// Measures each assignment `n` times with the simulated executor.
 /// Algorithm names follow the paper's convention ("algDDA").
+///
+/// Each assignment is measured on its own independent RNG stream derived from
+/// the master rng's *construction seed* and the assignment's position in the
+/// list (see assignment_stream_seed). Measurements of one assignment are thus
+/// independent of every other assignment — the property the campaign sharder
+/// relies on to split the list across shards without changing any value.
 [[nodiscard]] MeasurementSet measure_assignments(
     const sim::SimulatedExecutor& executor, const workloads::TaskChain& chain,
     const std::vector<workloads::DeviceAssignment>& assignments, std::size_t n,
     stats::Rng& rng);
 
 /// Measured variant via the RealExecutor (wall-clock on this machine).
+/// Uses the same per-assignment stream derivation as measure_assignments.
 [[nodiscard]] MeasurementSet measure_assignments_real(
     const sim::RealExecutor& executor, const workloads::TaskChain& chain,
     const std::vector<workloads::DeviceAssignment>& assignments, std::size_t n,

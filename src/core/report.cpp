@@ -152,8 +152,11 @@ void write_measurements_csv(const MeasurementSet& measurements,
     for (std::size_t i = 0; i < measurements.size(); ++i) {
         const auto samples = measurements.samples(i);
         for (std::size_t k = 0; k < samples.size(); ++k) {
+            // %.17g: shortest-or-exact round-trip precision, so re-reading
+            // the file reproduces the doubles bit-for-bit (the campaign
+            // merge path depends on this).
             csv.add_row({measurements.name(i), std::to_string(k),
-                         str::format("%.12g", samples[k])});
+                         str::format("%.17g", samples[k])});
         }
     }
 }

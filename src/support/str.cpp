@@ -1,10 +1,71 @@
 #include "support/str.hpp"
 
+#include "support/error.hpp"
+
+#include <cerrno>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace relperf::str {
+
+namespace {
+
+[[noreturn]] void bad_number(const std::string& context, std::string_view text,
+                             const char* expected) {
+    throw InvalidArgument(context + ": expected " + expected + ", got '" +
+                          std::string(text) + "'");
+}
+
+} // namespace
+
+std::size_t parse_size(std::string_view text, const std::string& context) {
+    const std::uint64_t value = parse_u64(text, context);
+    if (value > std::numeric_limits<std::size_t>::max()) {
+        bad_number(context, text, "a representable non-negative integer");
+    }
+    return static_cast<std::size_t>(value);
+}
+
+std::uint64_t parse_u64(std::string_view text, const std::string& context) {
+    const std::string_view trimmed = trim(text);
+    if (trimmed.empty() || trimmed.front() == '-' || trimmed.front() == '+') {
+        bad_number(context, text, "a non-negative integer");
+    }
+    const std::string buf(trimmed);
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(buf.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0' || errno == ERANGE) {
+        bad_number(context, text, "a non-negative integer");
+    }
+    return static_cast<std::uint64_t>(value);
+}
+
+double parse_double(std::string_view text, const std::string& context) {
+    const std::string buf(trim(text));
+    if (buf.empty()) bad_number(context, text, "a number");
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(buf.c_str(), &end);
+    if (end == nullptr || *end != '\0' || errno == ERANGE) {
+        bad_number(context, text, "a number");
+    }
+    return value;
+}
+
+std::vector<std::size_t> parse_size_list(std::string_view text,
+                                         const std::string& context) {
+    // split() yields at least one field, so an empty/garbage `text` surfaces
+    // as a parse_size error naming the context.
+    std::vector<std::size_t> out;
+    for (const std::string& field : split(text, ',')) {
+        out.push_back(parse_size(field, context));
+    }
+    return out;
+}
 
 std::string format(const char* fmt, ...) {
     std::va_list args;

@@ -2,6 +2,7 @@
 //! \file str.hpp
 //! Small string/formatting helpers (libstdc++ 12 has no std::format yet).
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -37,6 +38,20 @@ namespace relperf::str {
 /// Left/right padding to a minimum width (spaces).
 [[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
 [[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+/// Validated numeric parsing. Each helper throws relperf::InvalidArgument
+/// naming `context` (e.g. "--sizes") when `text` is not entirely a number of
+/// the requested shape — a clean CLI/config error instead of the
+/// std::stoul/std::stod behaviour of silently accepting trailing junk or
+/// calling std::terminate through an unhandled exception.
+[[nodiscard]] std::size_t parse_size(std::string_view text, const std::string& context);
+[[nodiscard]] std::uint64_t parse_u64(std::string_view text, const std::string& context);
+[[nodiscard]] double parse_double(std::string_view text, const std::string& context);
+
+/// Parses a comma-separated list of non-negative integers ("64,256").
+/// Fields are trimmed; empty fields, junk and an empty list are rejected.
+[[nodiscard]] std::vector<std::size_t> parse_size_list(std::string_view text,
+                                                       const std::string& context);
 
 /// Streams any << -able value into a string.
 template <typename T>

@@ -1,0 +1,233 @@
+//! The campaign subsystem's core guarantees, asserted end to end:
+//!
+//!  * K = 1 equals the unsharded pipeline measurement-for-measurement;
+//!  * every K produces the same merged measurements, in any shard order;
+//!  * the sharded + merged clustering is EXACTLY the clustering of the
+//!    single-process core::analyze_chain run (the ISSUE acceptance check);
+//!  * merging rejects foreign, duplicate and missing shards;
+//!  * the parallel LocalShardRunner agrees with serial execution;
+//!  * the CSV persistence round-trip changes nothing.
+
+#include "campaign/campaign.hpp"
+
+#include "core/pipeline.hpp"
+#include "sim/analytic.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+
+namespace campaign = relperf::campaign;
+namespace core = relperf::core;
+namespace sim = relperf::sim;
+namespace workloads = relperf::workloads;
+
+namespace {
+
+campaign::CampaignSpec small_spec() {
+    campaign::CampaignSpec spec;
+    spec.name = "gtest-campaign";
+    spec.sizes = {32, 64, 128};
+    spec.iters = 4;
+    spec.platform = "paper-cpu-gpu";
+    spec.measurements = 15;
+    spec.measurement_seed = 1234;
+    spec.clustering_repetitions = 50;
+    spec.clustering_seed = 99;
+    return spec;
+}
+
+/// The single-process reference: core::analyze_chain over the same plan.
+core::AnalysisResult reference_run(const campaign::CampaignSpec& spec) {
+    const sim::AnalyticCostModel model(campaign::platform_preset(spec.platform));
+    const sim::SimulatedExecutor executor(model, sim::NoiseModel{});
+    return core::analyze_chain(executor, spec.chain(), spec.assignments(),
+                               spec.analysis_config());
+}
+
+void expect_sets_identical(const core::MeasurementSet& a,
+                           const core::MeasurementSet& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.name(i), b.name(i));
+        const auto sa = a.samples(i);
+        const auto sb = b.samples(i);
+        ASSERT_EQ(sa.size(), sb.size()) << a.name(i);
+        for (std::size_t k = 0; k < sa.size(); ++k) {
+            EXPECT_EQ(sa[k], sb[k]) << a.name(i) << " sample " << k;
+        }
+    }
+}
+
+void expect_clusterings_identical(const core::Clustering& a,
+                                  const core::Clustering& b) {
+    ASSERT_EQ(a.cluster_count(), b.cluster_count());
+    ASSERT_EQ(a.final_assignment.size(), b.final_assignment.size());
+    for (std::size_t alg = 0; alg < a.final_assignment.size(); ++alg) {
+        EXPECT_EQ(a.final_assignment[alg].rank, b.final_assignment[alg].rank)
+            << "alg " << alg;
+        EXPECT_DOUBLE_EQ(a.final_assignment[alg].score,
+                         b.final_assignment[alg].score)
+            << "alg " << alg;
+        for (int rank = 1; rank <= a.cluster_count(); ++rank) {
+            EXPECT_DOUBLE_EQ(a.score_of(alg, rank), b.score_of(alg, rank))
+                << "alg " << alg << " rank " << rank;
+        }
+    }
+}
+
+} // namespace
+
+TEST(Campaign, SingleShardEqualsUnshardedPipelineMeasurementForMeasurement) {
+    const campaign::CampaignSpec spec = small_spec();
+    const campaign::ShardResult shard = campaign::run_shard(spec, 0, 1);
+    const core::MeasurementSet merged = campaign::merge_shards(spec, {shard});
+    expect_sets_identical(merged, reference_run(spec).measurements);
+}
+
+TEST(Campaign, EveryShardCountReproducesTheUnshardedMeasurements) {
+    const campaign::CampaignSpec spec = small_spec();
+    const core::MeasurementSet reference = reference_run(spec).measurements;
+    for (const std::size_t k : {2u, 3u, 5u, 8u}) {
+        std::vector<campaign::ShardResult> shards;
+        for (std::size_t i = 0; i < k; ++i) {
+            shards.push_back(campaign::run_shard(spec, i, k));
+        }
+        const core::MeasurementSet merged = campaign::merge_shards(spec, shards);
+        expect_sets_identical(merged, reference);
+    }
+}
+
+TEST(Campaign, ShardOrderDoesNotMatter) {
+    const campaign::CampaignSpec spec = small_spec();
+    std::vector<campaign::ShardResult> shards;
+    for (std::size_t i = 0; i < 4; ++i) {
+        shards.push_back(campaign::run_shard(spec, i, 4));
+    }
+    const core::MeasurementSet in_order = campaign::merge_shards(spec, shards);
+
+    std::mt19937 gen(7);
+    for (int round = 0; round < 5; ++round) {
+        std::shuffle(shards.begin(), shards.end(), gen);
+        expect_sets_identical(campaign::merge_shards(spec, shards), in_order);
+    }
+}
+
+TEST(Campaign, ShardedMergedClusteringEqualsAnalyzeChainExactly) {
+    // The ISSUE acceptance criterion: run every shard, merge, cluster — the
+    // result must be the exact clustering of the single-process
+    // core::analyze_chain run of the same plan.
+    const campaign::CampaignSpec spec = small_spec();
+    const core::AnalysisResult reference = reference_run(spec);
+    for (const std::size_t k : {1u, 2u, 4u, 7u}) {
+        const core::AnalysisResult sharded = campaign::run_campaign(spec, k);
+        expect_clusterings_identical(sharded.clustering, reference.clustering);
+    }
+}
+
+TEST(Campaign, CsvRoundTripPreservesTheExactClustering) {
+    // Same acceptance check, through the on-disk path the CLI uses: write
+    // every shard to a CSV file, read them back, merge, cluster.
+    const campaign::CampaignSpec spec = small_spec();
+    std::vector<std::string> paths;
+    std::vector<campaign::ShardResult> loaded;
+    for (std::size_t i = 0; i < 3; ++i) {
+        const campaign::ShardResult shard = campaign::run_shard(spec, i, 3);
+        paths.push_back(testing::TempDir() +
+                        "relperf_campaign_shard_" + std::to_string(i) + ".csv");
+        campaign::write_shard_csv(shard, paths.back());
+        loaded.push_back(campaign::read_shard_csv(paths.back()));
+    }
+    core::MeasurementSet merged = campaign::merge_shards(spec, loaded);
+    for (const std::string& path : paths) std::remove(path.c_str());
+
+    const core::AnalysisResult reference = reference_run(spec);
+    expect_sets_identical(merged, reference.measurements);
+    const core::AnalysisResult result =
+        core::analyze_measurements(std::move(merged), spec.analysis_config());
+    expect_clusterings_identical(result.clustering, reference.clustering);
+}
+
+TEST(Campaign, ParallelRunnerAgreesWithSerialExecution) {
+    const campaign::CampaignSpec spec = small_spec();
+    const std::vector<campaign::ShardResult> serial =
+        campaign::LocalShardRunner(1).run(spec, 4);
+    const std::vector<campaign::ShardResult> parallel =
+        campaign::LocalShardRunner(4).run(spec, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].manifest.shard_index, i);
+        expect_sets_identical(parallel[i].measurements, serial[i].measurements);
+    }
+}
+
+TEST(Campaign, MergeRejectsForeignShards) {
+    const campaign::CampaignSpec spec = small_spec();
+    campaign::CampaignSpec foreign = spec;
+    foreign.measurement_seed += 1;
+
+    std::vector<campaign::ShardResult> shards;
+    shards.push_back(campaign::run_shard(spec, 0, 2));
+    shards.push_back(campaign::run_shard(foreign, 1, 2));
+    EXPECT_THROW((void)campaign::merge_shards(spec, shards), relperf::Error);
+}
+
+TEST(Campaign, MergeRejectsDuplicateAndMissingShards) {
+    const campaign::CampaignSpec spec = small_spec();
+    const campaign::ShardResult s0 = campaign::run_shard(spec, 0, 2);
+    const campaign::ShardResult s1 = campaign::run_shard(spec, 1, 2);
+
+    EXPECT_THROW((void)campaign::merge_shards(spec, {s0, s0}), relperf::Error);
+    EXPECT_THROW((void)campaign::merge_shards(spec, {s0}), relperf::Error);
+    EXPECT_THROW((void)campaign::merge_shards(spec, {}), relperf::Error);
+    // Mixing shards of different splits (1/2 with 2/3) is rejected too.
+    const campaign::ShardResult other = campaign::run_shard(spec, 2, 3);
+    EXPECT_THROW((void)campaign::merge_shards(spec, {s0, other}),
+                 relperf::Error);
+    // The valid set still merges.
+    EXPECT_NO_THROW((void)campaign::merge_shards(spec, {s1, s0}));
+}
+
+TEST(Campaign, MergeRejectsTamperedShardContents) {
+    const campaign::CampaignSpec spec = small_spec();
+    campaign::ShardResult s0 = campaign::run_shard(spec, 0, 2);
+    const campaign::ShardResult s1 = campaign::run_shard(spec, 1, 2);
+
+    // Rebuild s0 with one sample dropped from its first algorithm: the
+    // sample-count check must fire.
+    core::MeasurementSet tampered;
+    for (std::size_t i = 0; i < s0.measurements.size(); ++i) {
+        auto samples = std::vector<double>(s0.measurements.samples(i).begin(),
+                                           s0.measurements.samples(i).end());
+        if (i == 0) samples.pop_back();
+        tampered.add(s0.measurements.name(i), std::move(samples));
+    }
+    s0.measurements = std::move(tampered);
+    EXPECT_THROW((void)campaign::merge_shards(spec, {s0, s1}), relperf::Error);
+}
+
+TEST(Campaign, RealExecutorCampaignRunsAndMerges) {
+    campaign::CampaignSpec spec;
+    spec.name = "gtest-real";
+    spec.executor = campaign::ExecutorKind::Real;
+    spec.sizes = {12, 16};
+    spec.iters = 1;
+    spec.measurements = 2;
+    spec.warmup = 0;
+    spec.device_threads = 1;
+    spec.accelerator_threads = 1;
+    spec.dispatch_delay_us = 0.0;
+    spec.switch_delay_us = 0.0;
+    spec.clustering_repetitions = 10;
+
+    const std::vector<campaign::ShardResult> shards =
+        campaign::LocalShardRunner(2).run(spec, 2);
+    const core::MeasurementSet merged = campaign::merge_shards(spec, shards);
+    ASSERT_EQ(merged.size(), 4u);
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        for (const double s : merged.samples(i)) EXPECT_GT(s, 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+#include "campaign/shard_io.hpp"
+
+#include "core/io.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace campaign = relperf::campaign;
+namespace core = relperf::core;
+
+namespace {
+
+campaign::ShardResult sample_shard() {
+    campaign::ShardResult shard;
+    shard.manifest.spec_hash = 0xDEADBEEFCAFEF00DULL;
+    shard.manifest.shard_index = 1;
+    shard.manifest.shard_count = 3;
+    shard.manifest.campaign = "edge-sweep";
+    shard.manifest.host = "rpi-kitchen";
+    shard.measurements.add("algDA", {0.25, 0.26, 0.24});
+    shard.measurements.add("algAA", {0.125, 1.0 / 3.0, 0.1275});
+    return shard;
+}
+
+std::string write_temp(const std::string& content, const std::string& name) {
+    const std::string path = testing::TempDir() + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+} // namespace
+
+TEST(ShardIo, RoundTripsManifestAndMeasurementsExactly) {
+    const campaign::ShardResult original = sample_shard();
+    const std::string path = testing::TempDir() + "relperf_shard_rt.csv";
+    campaign::write_shard_csv(original, path);
+    const campaign::ShardResult loaded = campaign::read_shard_csv(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.manifest.spec_hash, original.manifest.spec_hash);
+    EXPECT_EQ(loaded.manifest.shard_index, original.manifest.shard_index);
+    EXPECT_EQ(loaded.manifest.shard_count, original.manifest.shard_count);
+    EXPECT_EQ(loaded.manifest.campaign, original.manifest.campaign);
+    EXPECT_EQ(loaded.manifest.host, original.manifest.host);
+
+    ASSERT_EQ(loaded.measurements.size(), original.measurements.size());
+    for (std::size_t i = 0; i < original.measurements.size(); ++i) {
+        EXPECT_EQ(loaded.measurements.name(i), original.measurements.name(i));
+        const auto got = loaded.measurements.samples(i);
+        const auto want = original.measurements.samples(i);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t k = 0; k < want.size(); ++k) {
+            // %.17g must reproduce the doubles bit-for-bit (1/3 included).
+            EXPECT_EQ(got[k], want[k]);
+        }
+    }
+}
+
+TEST(ShardIo, ShardFilesAreReadableAsPlainMeasurementCsv) {
+    const campaign::ShardResult original = sample_shard();
+    const std::string path = testing::TempDir() + "relperf_shard_plain.csv";
+    campaign::write_shard_csv(original, path);
+    const core::MeasurementSet set = core::read_measurements_csv(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_EQ(set.name(0), "algDA");
+}
+
+TEST(ShardIo, MissingManifestIsRejectedWithTheFileName) {
+    const std::string path = write_temp(
+        "algorithm,measurement_index,seconds\nalgD,0,1.0\n",
+        "relperf_shard_nomanifest.csv");
+    try {
+        (void)campaign::read_shard_csv(path);
+        FAIL() << "expected an error";
+    } catch (const relperf::Error& e) {
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("spec_hash"), std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ShardIo, MalformedManifestValuesNameTheLine) {
+    const std::string path = write_temp(
+        "# spec_hash = zzzz-not-hex\n"
+        "# shard_index = 0\n"
+        "# shard_count = 2\n"
+        "algorithm,measurement_index,seconds\nalgD,0,1.0\n",
+        "relperf_shard_badhash.csv");
+    try {
+        (void)campaign::read_shard_csv(path);
+        FAIL() << "expected an error";
+    } catch (const relperf::Error& e) {
+        EXPECT_NE(std::string(e.what()).find(":1:"), std::string::npos)
+            << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ShardIo, InconsistentShardRefIsRejected) {
+    const std::string path = write_temp(
+        "# spec_hash = 00000000000000ff\n"
+        "# shard_index = 5\n"
+        "# shard_count = 2\n"
+        "algorithm,measurement_index,seconds\nalgD,0,1.0\n",
+        "relperf_shard_badref.csv");
+    EXPECT_THROW((void)campaign::read_shard_csv(path), relperf::Error);
+    std::remove(path.c_str());
+}
+
+TEST(ShardIo, ExpandsCommaListsAndSortsThem) {
+    const std::vector<std::string> paths =
+        campaign::expand_shard_pattern("b.csv, a.csv ,c.csv");
+    EXPECT_EQ(paths, (std::vector<std::string>{"a.csv", "b.csv", "c.csv"}));
+    EXPECT_THROW((void)campaign::expand_shard_pattern("  "), relperf::Error);
+}
+
+TEST(ShardIo, ExpandsGlobPatterns) {
+    const std::string dir = testing::TempDir();
+    const std::string a = write_temp("x", "relperf_glob_s0.csv");
+    const std::string b = write_temp("x", "relperf_glob_s1.csv");
+    const std::vector<std::string> paths =
+        campaign::expand_shard_pattern(dir + "relperf_glob_s*.csv");
+    EXPECT_EQ(paths.size(), 2u);
+    EXPECT_NE(paths[0], paths[1]);
+    EXPECT_THROW(
+        (void)campaign::expand_shard_pattern(dir + "relperf_glob_none*.csv"),
+        relperf::Error);
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(ShardIo, HostNameIsNonEmpty) {
+    EXPECT_FALSE(campaign::host_name().empty());
+}

@@ -1,0 +1,170 @@
+#include "campaign/spec.hpp"
+
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace campaign = relperf::campaign;
+
+namespace {
+
+campaign::CampaignSpec sample_spec() {
+    campaign::CampaignSpec spec;
+    spec.name = "edge-sweep";
+    spec.sizes = {64, 256};
+    spec.iters = 5;
+    spec.platform = "rpi-server";
+    spec.measurements = 12;
+    spec.measurement_seed = 77;
+    spec.shards = 2;
+    spec.clustering_repetitions = 40;
+    spec.clustering_seed = 9;
+    spec.tie_epsilon = 0.03;
+    return spec;
+}
+
+} // namespace
+
+TEST(CampaignSpec, TextRoundTripPreservesEveryField) {
+    const campaign::CampaignSpec original = sample_spec();
+    const campaign::CampaignSpec loaded =
+        campaign::CampaignSpec::parse(original.to_text());
+
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.sizes, original.sizes);
+    EXPECT_EQ(loaded.iters, original.iters);
+    EXPECT_EQ(loaded.executor, original.executor);
+    EXPECT_EQ(loaded.platform, original.platform);
+    EXPECT_EQ(loaded.measurements, original.measurements);
+    EXPECT_EQ(loaded.measurement_seed, original.measurement_seed);
+    EXPECT_EQ(loaded.shards, original.shards);
+    EXPECT_EQ(loaded.clustering_repetitions, original.clustering_repetitions);
+    EXPECT_EQ(loaded.clustering_seed, original.clustering_seed);
+    EXPECT_DOUBLE_EQ(loaded.tie_epsilon, original.tie_epsilon);
+    EXPECT_DOUBLE_EQ(loaded.decision_threshold, original.decision_threshold);
+    EXPECT_EQ(loaded.hash(), original.hash());
+}
+
+TEST(CampaignSpec, FileRoundTrip) {
+    const std::string path = testing::TempDir() + "relperf_campaign.spec";
+    const campaign::CampaignSpec original = sample_spec();
+    original.save(path);
+    const campaign::CampaignSpec loaded = campaign::CampaignSpec::load(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(loaded.hash(), original.hash());
+    EXPECT_EQ(loaded.name, original.name);
+}
+
+TEST(CampaignSpec, ParseToleratesCommentsBlanksAndCrlf) {
+    const std::string text =
+        "# a comment\r\n"
+        "\r\n"
+        "campaign = crlf-campaign\r\n"
+        "  sizes =  32 , 64 \r\n"
+        "measurements = 5\r\n";
+    const campaign::CampaignSpec spec = campaign::CampaignSpec::parse(text);
+    EXPECT_EQ(spec.name, "crlf-campaign");
+    EXPECT_EQ(spec.sizes, (std::vector<std::size_t>{32, 64}));
+    EXPECT_EQ(spec.measurements, 5u);
+    EXPECT_EQ(spec.iters, 10u); // unmentioned keys keep their defaults
+}
+
+TEST(CampaignSpec, ParseErrorsNameSourceAndLine) {
+    const auto expect_error_containing = [](const std::string& text,
+                                            const std::string& fragment) {
+        try {
+            (void)campaign::CampaignSpec::parse(text, "plan.spec");
+            FAIL() << "expected an error for: " << text;
+        } catch (const relperf::Error& e) {
+            EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+                << "message was: " << e.what();
+        }
+    };
+    expect_error_containing("campaign = x\nbogus_key = 1\n",
+                            "plan.spec:2: unknown key 'bogus_key'");
+    expect_error_containing("no equals sign here\n", "plan.spec:1:");
+    expect_error_containing("sizes = 64,junk\n", "plan.spec:1:");
+    expect_error_containing("iters = 3\niters = 4\n",
+                            "plan.spec:2: duplicate key 'iters'");
+    expect_error_containing("executor = quantum\n", "plan.spec:1:");
+}
+
+TEST(CampaignSpec, ValidateRejectsOutOfRangeFields) {
+    campaign::CampaignSpec spec;
+    spec.sizes = {};
+    EXPECT_THROW(spec.validate(), relperf::InvalidArgument);
+    spec = campaign::CampaignSpec{};
+    spec.measurements = 0;
+    EXPECT_THROW(spec.validate(), relperf::InvalidArgument);
+    spec = campaign::CampaignSpec{};
+    spec.platform = "not-a-platform";
+    EXPECT_THROW(spec.validate(), relperf::InvalidArgument);
+    spec = campaign::CampaignSpec{};
+    spec.decision_threshold = 0.4;
+    EXPECT_THROW(spec.validate(), relperf::InvalidArgument);
+}
+
+TEST(CampaignSpec, HashCoversTheMeasurementPlanOnly) {
+    const campaign::CampaignSpec base = sample_spec();
+
+    // Shard count and analysis knobs do not change measurements, so shards
+    // from differently-split or differently-analyzed campaigns stay
+    // mergeable.
+    campaign::CampaignSpec variant = base;
+    variant.shards = 7;
+    variant.clustering_repetitions = 999;
+    variant.clustering_seed = 1;
+    variant.name = "other-label";
+    EXPECT_EQ(variant.hash(), base.hash());
+
+    // Plan fields do.
+    variant = base;
+    variant.measurement_seed += 1;
+    EXPECT_NE(variant.hash(), base.hash());
+    variant = base;
+    variant.sizes.push_back(512);
+    EXPECT_NE(variant.hash(), base.hash());
+    variant = base;
+    variant.measurements += 1;
+    EXPECT_NE(variant.hash(), base.hash());
+    variant = base;
+    variant.platform = "cpu-only";
+    EXPECT_NE(variant.hash(), base.hash());
+    variant = base;
+    variant.executor = campaign::ExecutorKind::Real;
+    EXPECT_NE(variant.hash(), base.hash());
+}
+
+TEST(CampaignSpec, PlatformPresetsResolve) {
+    for (const std::string& name : campaign::platform_preset_names()) {
+        EXPECT_NO_THROW((void)campaign::platform_preset(name)) << name;
+    }
+    EXPECT_THROW((void)campaign::platform_preset("warp-core"),
+                 relperf::InvalidArgument);
+}
+
+TEST(CampaignSpec, ChainAndAssignmentsFollowTheSpec) {
+    const campaign::CampaignSpec spec = sample_spec();
+    EXPECT_EQ(spec.chain().size(), 2u);
+    EXPECT_EQ(spec.assignments().size(), 4u); // 2^2
+    const relperf::core::AnalysisConfig config = spec.analysis_config();
+    EXPECT_EQ(config.measurements_per_alg, 12u);
+    EXPECT_EQ(config.clustering.repetitions, 40u);
+    EXPECT_EQ(config.measurement_seed, 77u);
+    EXPECT_DOUBLE_EQ(config.comparator.tie_epsilon, 0.03);
+}
+
+TEST(CampaignSpec, ErrorPrefixIsAppliedExactlyOnce) {
+    try {
+        (void)campaign::CampaignSpec::parse("bogus_key = 1\n", "plan.spec");
+        FAIL() << "expected an error";
+    } catch (const relperf::Error& e) {
+        const std::string message = e.what();
+        EXPECT_EQ(message.find("plan.spec:1:"),
+                  message.rfind("plan.spec:1:"))
+            << "prefix duplicated: " << message;
+    }
+}

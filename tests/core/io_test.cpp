@@ -82,3 +82,68 @@ TEST(MeasurementsCsv, MissingFileThrows) {
     EXPECT_THROW((void)core::read_measurements_csv("/nonexistent/file.csv"),
                  relperf::Error);
 }
+
+TEST(MeasurementsCsv, ToleratesCrlfBomCommentsAndTrailingBlanks) {
+    const std::string content =
+        "\xEF\xBB\xBF# produced by a campaign shard\r\n"
+        "algorithm,measurement_index,seconds\r\n"
+        "algDD,0,1.5\r\n"
+        "# mid-file comment\r\n"
+        "algDD,1,1.6\r\n"
+        "\r\n"
+        "\r\n";
+    const core::MeasurementSet set = core::parse_measurements_csv(content);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.name(0), "algDD");
+    ASSERT_EQ(set.samples(0).size(), 2u);
+    EXPECT_DOUBLE_EQ(set.samples(0)[1], 1.6);
+}
+
+TEST(MeasurementsCsv, ErrorsNameTheSourceAndLineNumber) {
+    const auto expect_message = [](const std::string& content,
+                                   const std::string& fragment) {
+        try {
+            (void)core::parse_measurements_csv(content, "shard_3.csv");
+            FAIL() << "expected an error for: " << content;
+        } catch (const relperf::Error& e) {
+            EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+                << "message was: " << e.what();
+        }
+    };
+    expect_message("algorithm,measurement_index,seconds\na,0,bad\n",
+                   "shard_3.csv:2: bad seconds value 'bad'");
+    expect_message("algorithm,measurement_index,seconds\n# c\n\nx,1\n",
+                   "shard_3.csv:4: row has 2 fields");
+    expect_message("wrong,header\n", "shard_3.csv:1:");
+    expect_message("algorithm,measurement_index,seconds\n,0,1.0\n",
+                   "shard_3.csv:2: empty algorithm name");
+}
+
+TEST(MeasurementsCsv, HeaderOnlyFilesAreAnError) {
+    EXPECT_THROW((void)core::parse_measurements_csv(
+                     "algorithm,measurement_index,seconds\n"),
+                 relperf::Error);
+}
+
+TEST(MeasurementsCsv, WriterUsesRoundTripPrecision) {
+    core::MeasurementSet original;
+    original.add("alg", {1.0 / 3.0, 0.1, 1e-9 + 1e-17});
+    const std::string path = testing::TempDir() + "relperf_io_exact.csv";
+    core::write_measurements_csv(original, path);
+    const core::MeasurementSet loaded = core::read_measurements_csv(path);
+    std::remove(path.c_str());
+    for (std::size_t k = 0; k < 3; ++k) {
+        EXPECT_EQ(loaded.samples(0)[k], original.samples(0)[k]) << k;
+    }
+}
+
+TEST(MeasurementsCsv, RejectsNonFiniteSecondsValues) {
+    for (const char* bad : {"1e999", "-1e999", "inf", "nan"}) {
+        const std::string content =
+            std::string("algorithm,measurement_index,seconds\na,0,") + bad +
+            "\n";
+        EXPECT_THROW((void)core::parse_measurements_csv(content),
+                     relperf::Error)
+            << bad;
+    }
+}

@@ -1,5 +1,7 @@
 #include "support/str.hpp"
 
+#include "support/error.hpp"
+
 #include <gtest/gtest.h>
 
 namespace str = relperf::str;
@@ -73,4 +75,42 @@ TEST(StrPad, PadsToWidth) {
 TEST(StrToString, StreamsValues) {
     EXPECT_EQ(str::to_string(42), "42");
     EXPECT_EQ(str::to_string("abc"), "abc");
+}
+
+TEST(StrParse, SizeAcceptsDecimalAndHex) {
+    EXPECT_EQ(str::parse_size("42", "--n"), 42u);
+    EXPECT_EQ(str::parse_size(" 7 ", "--n"), 7u);
+    EXPECT_EQ(str::parse_u64("0xff", "seed"), 255u);
+    EXPECT_EQ(str::parse_u64("18446744073709551615", "seed"),
+              18446744073709551615ULL);
+}
+
+TEST(StrParse, RejectsJunkWithTheContextInTheMessage) {
+    const auto expect_invalid = [](auto&& call, const char* context) {
+        try {
+            call();
+            FAIL() << "expected InvalidArgument";
+        } catch (const relperf::InvalidArgument& e) {
+            EXPECT_NE(std::string(e.what()).find(context), std::string::npos)
+                << e.what();
+        }
+    };
+    expect_invalid([] { (void)str::parse_size("12abc", "--sizes"); }, "--sizes");
+    expect_invalid([] { (void)str::parse_size("", "--sizes"); }, "--sizes");
+    expect_invalid([] { (void)str::parse_size("-3", "--sizes"); }, "--sizes");
+    expect_invalid([] { (void)str::parse_double("1.2.3", "--eps"); }, "--eps");
+    expect_invalid([] { (void)str::parse_double("", "--eps"); }, "--eps");
+}
+
+TEST(StrParse, SizeListSplitsTrimsAndValidates) {
+    EXPECT_EQ(str::parse_size_list("64,256", "--sizes"),
+              (std::vector<std::size_t>{64, 256}));
+    EXPECT_EQ(str::parse_size_list(" 1 , 2 , 3 ", "--sizes"),
+              (std::vector<std::size_t>{1, 2, 3}));
+    EXPECT_THROW((void)str::parse_size_list("64,,256", "--sizes"),
+                 relperf::InvalidArgument);
+    EXPECT_THROW((void)str::parse_size_list("64,junk", "--sizes"),
+                 relperf::InvalidArgument);
+    EXPECT_THROW((void)str::parse_size_list("", "--sizes"),
+                 relperf::InvalidArgument);
 }

@@ -1,56 +1,144 @@
 //! relperf — command-line front end.
 //!
-//! Clusters measurement distributions from a CSV file (any source: real
-//! devices, other harnesses) into performance classes with relative scores,
-//! using the paper's methodology end to end:
+//! Two families of modes:
+//!
+//! **Cluster an existing measurements CSV** (any source: real devices, other
+//! harnesses):
 //!
 //!   $ relperf --input measurements.csv
 //!   $ relperf --input measurements.csv --rep 200 --out clusters.csv --matrix
 //!
-//! Input format (written by core::write_measurements_csv and by the
-//! experiment benches' --csv option; bench_micro_kernels is the exception —
-//! its --csv emits google-benchmark's own CSV schema, which this tool does
-//! not read):
+//! **Sharded measurement campaigns** (see src/campaign/): describe the plan
+//! once, run shards anywhere — possibly different machines — and merge the
+//! shard files centrally. The merged clustering is bit-identical to a
+//! single-process run of the same spec:
+//!
+//!   $ relperf --campaign-init plan.spec            # 1. emit the plan
+//!   $ relperf --campaign plan.spec --shard 0/4 --out shard_0.csv
+//!   $ relperf --campaign plan.spec --shard 1/4 --out shard_1.csv   # ... 2/4, 3/4
+//!   $ relperf --campaign plan.spec --merge 'shard_*.csv'           # 3. cluster
+//!   $ relperf --campaign plan.spec --run --shards 4 --workers 4  # one host
+//!
+//! Input format (written by core::write_measurements_csv, campaign shard
+//! files and the experiment benches' --csv option; bench_micro_kernels is the
+//! exception — its --csv emits google-benchmark's own CSV schema, which this
+//! tool does not read):
 //!
 //!   algorithm,measurement_index,seconds
 //!   algDDA,0,0.0406
 //!   ...
 
+#include "campaign/campaign.hpp"
 #include "core/io.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "support/cli.hpp"
+#include "support/str.hpp"
 
 #include <cstdio>
 
 using namespace relperf;
 
-int main(int argc, char** argv) try {
-    support::CliParser cli(
-        "relperf — cluster algorithms into performance classes "
-        "(Sankaran & Bientinesi 2021)");
-    cli.add_option("input", "measurements CSV (algorithm,measurement_index,seconds)",
-                   "");
-    cli.add_option("rep", "clustering repetitions (paper Rep)", "100");
-    cli.add_option("rounds", "bootstrap rounds per comparison (paper R)", "100");
-    cli.add_option("tie-epsilon", "relative tie band of the comparator", "0.02");
-    cli.add_option("threshold", "decision threshold on the win-rate score", "0.9");
-    cli.add_option("n-max", "use at most this many measurements per algorithm "
-                            "(0 = all)", "0");
-    cli.add_option("seed", "clustering seed", "42");
-    cli.add_option("out", "write the clustering to this CSV path", "");
-    cli.add_flag("summary", "print per-algorithm summary statistics");
-    cli.add_flag("matrix", "print the pairwise three-way comparison matrix");
-    cli.add_flag("distributions", "print shared-axis ASCII histograms");
-    if (!cli.parse(argc, argv)) return 0;
+namespace {
 
-    const auto input = cli.value_optional("input");
-    if (!input) {
-        std::fputs("error: --input is required (see --help)\n", stderr);
+/// Renders the cluster + final tables and optionally writes the clustering
+/// CSV (shared tail of every analyzing mode).
+void report_analysis(const core::AnalysisResult& result,
+                     const std::optional<std::string>& out_path) {
+    std::puts("Performance classes with relative scores:");
+    std::fputs(
+        core::render_cluster_table(result.clustering, result.measurements).c_str(),
+        stdout);
+    std::puts("\nFinal unique assignment:");
+    std::fputs(
+        core::render_final_table(result.clustering, result.measurements).c_str(),
+        stdout);
+    if (out_path) {
+        core::write_clustering_csv(result.clustering, result.measurements,
+                                   *out_path);
+        std::printf("\nclustering written to %s\n", out_path->c_str());
+    }
+}
+
+int campaign_init(const std::string& path) {
+    campaign::CampaignSpec spec;
+    spec.save(path);
+    std::printf("campaign spec written to %s\n\n", path.c_str());
+    std::printf("next steps (K = any shard count, here 2):\n"
+                "  relperf --campaign %s --shard 0/2 --out shard_0.csv\n"
+                "  relperf --campaign %s --shard 1/2 --out shard_1.csv\n"
+                "  relperf --campaign %s --merge 'shard_*.csv'\n",
+                path.c_str(), path.c_str(), path.c_str());
+    return 0;
+}
+
+int campaign_shard(const campaign::CampaignSpec& spec, const std::string& ref_text,
+                   const std::optional<std::string>& out_path) {
+    if (!out_path) {
+        std::fputs("error: --shard requires --out <shard.csv>\n", stderr);
         return 2;
     }
+    const campaign::ShardRef ref = campaign::parse_shard_ref(ref_text);
+    const campaign::ShardResult shard =
+        campaign::run_shard(spec, ref.index, ref.count);
+    campaign::write_shard_csv(shard, *out_path);
+    std::printf("campaign '%s' shard %zu/%zu: %zu algorithms x %zu "
+                "measurements -> %s (spec hash %016llx)\n",
+                spec.name.c_str(), ref.index, ref.count,
+                shard.measurements.size(), spec.measurements,
+                out_path->c_str(),
+                static_cast<unsigned long long>(shard.manifest.spec_hash));
+    return 0;
+}
 
-    core::MeasurementSet loaded = core::read_measurements_csv(*input);
+int campaign_merge(const campaign::CampaignSpec& spec, const std::string& pattern,
+                   const std::optional<std::string>& out_path,
+                   const std::optional<std::string>& merged_csv) {
+    const std::vector<std::string> paths =
+        campaign::expand_shard_pattern(pattern);
+    std::vector<campaign::ShardResult> shards;
+    shards.reserve(paths.size());
+    for (const std::string& path : paths) {
+        shards.push_back(campaign::read_shard_csv(path));
+        std::printf("read %s (shard %zu/%zu, host %s)\n", path.c_str(),
+                    shards.back().manifest.shard_index,
+                    shards.back().manifest.shard_count,
+                    shards.back().manifest.host.c_str());
+    }
+    core::MeasurementSet merged = campaign::merge_shards(spec, shards);
+    if (merged_csv) {
+        core::write_measurements_csv(merged, *merged_csv);
+        std::printf("merged measurements written to %s\n", merged_csv->c_str());
+    }
+    std::printf("merged %zu shards: %zu algorithms x %zu measurements\n\n",
+                shards.size(), merged.size(), spec.measurements);
+    const core::AnalysisResult result =
+        core::analyze_measurements(std::move(merged), spec.analysis_config());
+    report_analysis(result, out_path);
+    return 0;
+}
+
+int campaign_run(const campaign::CampaignSpec& spec, std::size_t shard_count,
+                 std::size_t workers,
+                 const std::optional<std::string>& out_path,
+                 const std::optional<std::string>& merged_csv) {
+    if (shard_count == 0) shard_count = spec.shards;
+    std::printf("campaign '%s': %zu shards, %s workers\n\n", spec.name.c_str(),
+                shard_count,
+                workers == 0 ? "all" : std::to_string(workers).c_str());
+    const core::AnalysisResult result =
+        campaign::run_campaign(spec, shard_count, workers);
+    if (merged_csv) {
+        core::write_measurements_csv(result.measurements, *merged_csv);
+        std::printf("merged measurements written to %s\n\n",
+                    merged_csv->c_str());
+    }
+    report_analysis(result, out_path);
+    return 0;
+}
+
+int analyze_input(const support::CliParser& cli, const std::string& input) {
+    core::MeasurementSet loaded = core::read_measurements_csv(input);
 
     // Optional truncation (simulate a smaller N).
     const int n_max = cli.value_int("n-max");
@@ -75,7 +163,7 @@ int main(int argc, char** argv) try {
     config.clustering.seed = static_cast<std::uint64_t>(cli.value_int("seed"));
 
     std::printf("relperf: %zu algorithms from %s\n\n", measurements.size(),
-                input->c_str());
+                input.c_str());
 
     if (cli.flag("summary")) {
         std::fputs(core::render_summary_table(measurements).c_str(), stdout);
@@ -95,21 +183,97 @@ int main(int argc, char** argv) try {
 
     const core::AnalysisResult result =
         core::analyze_measurements(std::move(measurements), config);
-
-    std::puts("Performance classes with relative scores:");
-    std::fputs(
-        core::render_cluster_table(result.clustering, result.measurements).c_str(),
-        stdout);
-    std::puts("\nFinal unique assignment:");
-    std::fputs(
-        core::render_final_table(result.clustering, result.measurements).c_str(),
-        stdout);
-
-    if (const auto out = cli.value_optional("out")) {
-        core::write_clustering_csv(result.clustering, result.measurements, *out);
-        std::printf("\nclustering written to %s\n", out->c_str());
-    }
+    report_analysis(result, cli.value_optional("out"));
     return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) try {
+    support::CliParser cli(
+        "relperf — cluster algorithms into performance classes "
+        "(Sankaran & Bientinesi 2021)");
+    cli.add_option("input", "measurements CSV (algorithm,measurement_index,seconds)",
+                   "");
+    cli.add_option("rep", "clustering repetitions (paper Rep; --input mode)", "100");
+    cli.add_option("rounds", "bootstrap rounds per comparison (paper R; "
+                             "--input mode)", "100");
+    cli.add_option("tie-epsilon", "relative tie band of the comparator "
+                                  "(--input mode)", "0.02");
+    cli.add_option("threshold", "decision threshold on the win-rate score "
+                                "(--input mode)", "0.9");
+    cli.add_option("n-max", "use at most this many measurements per algorithm "
+                            "(0 = all)", "0");
+    cli.add_option("seed", "clustering seed (--input mode)", "42");
+    cli.add_option("out", "clustering CSV path (shard CSV path in --shard mode)",
+                   "");
+    cli.add_flag("summary", "print per-algorithm summary statistics");
+    cli.add_flag("matrix", "print the pairwise three-way comparison matrix");
+    cli.add_flag("distributions", "print shared-axis ASCII histograms");
+    cli.add_option("campaign-init", "write a default campaign spec to this "
+                                    "path and exit", "");
+    cli.add_option("campaign", "campaign spec file (enables the campaign "
+                               "modes below; analysis knobs come from the "
+                               "spec)", "");
+    cli.add_option("shard", "run one shard 'i/K' of the campaign (0-based); "
+                            "requires --out", "");
+    cli.add_option("merge", "merge shard files (glob pattern or "
+                            "comma-separated paths) and cluster", "");
+    cli.add_flag("run", "run the whole campaign on this machine and cluster");
+    cli.add_option("shards", "override the spec's shard count for --run "
+                             "(0 = spec value)", "0");
+    cli.add_option("workers", "worker threads for --run (0 = all cores)", "1");
+    cli.add_option("merged-csv", "also write the merged measurements CSV here "
+                                 "(--merge/--run modes)", "");
+    if (!cli.parse(argc, argv)) return 0;
+
+    if (const auto init_path = cli.value_optional("campaign-init")) {
+        return campaign_init(*init_path);
+    }
+
+    const auto input = cli.value_optional("input");
+    const auto campaign_path = cli.value_optional("campaign");
+    if (input && campaign_path) {
+        std::fputs("error: --input and --campaign are mutually exclusive\n",
+                   stderr);
+        return 2;
+    }
+
+    if (campaign_path) {
+        const campaign::CampaignSpec spec =
+            campaign::CampaignSpec::load(*campaign_path);
+        const auto shard_ref = cli.value_optional("shard");
+        const auto merge_pattern = cli.value_optional("merge");
+        const int modes = (shard_ref ? 1 : 0) + (merge_pattern ? 1 : 0) +
+                          (cli.flag("run") ? 1 : 0);
+        if (modes != 1) {
+            std::fputs("error: --campaign needs exactly one of --shard i/K, "
+                       "--merge <pattern>, --run\n",
+                       stderr);
+            return 2;
+        }
+        if (shard_ref) {
+            return campaign_shard(spec, *shard_ref, cli.value_optional("out"));
+        }
+        if (merge_pattern) {
+            return campaign_merge(spec, *merge_pattern,
+                                  cli.value_optional("out"),
+                                  cli.value_optional("merged-csv"));
+        }
+        return campaign_run(spec,
+                            str::parse_size(cli.value("shards"), "--shards"),
+                            str::parse_size(cli.value("workers"), "--workers"),
+                            cli.value_optional("out"),
+                            cli.value_optional("merged-csv"));
+    }
+
+    if (!input) {
+        std::fputs("error: one of --input, --campaign, --campaign-init is "
+                   "required (see --help)\n",
+                   stderr);
+        return 2;
+    }
+    return analyze_input(cli, *input);
 } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
