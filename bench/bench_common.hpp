@@ -4,6 +4,7 @@
 //! default paper configuration.
 
 #include "core/pipeline.hpp"
+#include "linalg/backend.hpp"
 #include "support/cli.hpp"
 
 #include <cstdio>
@@ -16,6 +17,38 @@ inline void add_common_options(support::CliParser& cli) {
     cli.add_option("seed", "master seed for measurements", "42");
     cli.add_option("rep", "clustering repetitions (paper Rep)", "100");
     cli.add_option("csv", "write raw results to this CSV path", "");
+}
+
+/// Adds the linalg-backend options for benches that execute kernels.
+inline void add_backend_options(support::CliParser& cli) {
+    cli.add_option("backend", "linalg backend to measure on "
+                              "(see --list-backends)", "");
+    cli.add_flag("list-backends", "list the linalg backends of this build "
+                                  "and exit");
+}
+
+/// Prints the registered backends (the --list-backends probe body).
+inline void print_backends() {
+    std::printf("linalg backends in this build (default: %s):\n",
+                linalg::default_backend().name.c_str());
+    for (const std::string& name : linalg::backend_names()) {
+        std::printf("  %-10s %s\n", name.c_str(),
+                    linalg::backend(name).description.c_str());
+    }
+}
+
+/// Handles the backend options after parse(). Returns false when the caller
+/// should exit (--list-backends printed); otherwise installs --backend as
+/// the process default so every kernel the bench runs dispatches to it.
+[[nodiscard]] inline bool apply_backend_options(const support::CliParser& cli) {
+    if (cli.flag("list-backends")) {
+        print_backends();
+        return false;
+    }
+    if (const auto backend = cli.value_optional("backend")) {
+        linalg::set_default_backend(*backend);
+    }
+    return true;
 }
 
 /// Builds the analysis config from parsed common options.

@@ -4,8 +4,10 @@
 //! methodology itself (the paper's footnote 4 notes the sort is not
 //! performance-optimized — this harness puts numbers on that).
 
+#include "bench_common.hpp"
 #include "core/bootstrap_comparator.hpp"
 #include "core/threeway_sort.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/rls.hpp"
@@ -16,6 +18,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -24,7 +28,9 @@ namespace {
 using relperf::linalg::Matrix;
 using relperf::stats::Rng;
 
-void BM_GemmBlocked(benchmark::State& state) {
+// Dispatches through the active backend — `--backend blas` (or any other
+// registered name) makes every dispatching benchmark below measure it.
+void BM_Gemm(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
     Rng rng(1);
     const Matrix a = Matrix::random_normal(n, n, rng);
@@ -32,6 +38,27 @@ void BM_GemmBlocked(benchmark::State& state) {
     Matrix c(n, n);
     for (auto _ : state) {
         relperf::linalg::gemm(1.0, a, b, 0.0, c);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        relperf::linalg::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+            1e9,
+        benchmark::Counter::kIsRate);
+    state.SetLabel(relperf::linalg::active_backend().name);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Pins the portable blocked kernel regardless of --backend, so a vendor-BLAS
+// run still reports the generic-vs-vendor gap in one output.
+void BM_GemmBlocked(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    const Matrix a = Matrix::random_normal(n, n, rng);
+    const Matrix b = Matrix::random_normal(n, n, rng);
+    Matrix c(n, n);
+    for (auto _ : state) {
+        relperf::linalg::gemm_blocked(1.0, a, b, 0.0, c);
         benchmark::DoNotOptimize(c.data().data());
     }
     state.SetItemsProcessed(state.iterations());
@@ -157,8 +184,10 @@ BENCHMARK(BM_ThreeWaySortRandomComparator)->Arg(8)->Arg(32)->Arg(128);
 
 // Custom main instead of BENCHMARK_MAIN(): every relperf bench accepts
 // `--csv <path>` (bench_common.hpp convention), which here is translated to
-// google-benchmark's file reporter (--benchmark_out=<path> in CSV format).
-int main(int argc, char** argv) {
+// google-benchmark's file reporter (--benchmark_out=<path> in CSV format),
+// plus `--backend <name>` (install a linalg backend as the process default
+// so the dispatching benchmarks measure it) and `--list-backends`.
+int main(int argc, char** argv) try {
     std::vector<std::string> args;
     args.reserve(static_cast<std::size_t>(argc) + 1);
     for (int i = 0; i < argc; ++i) {
@@ -169,6 +198,13 @@ int main(int argc, char** argv) {
         } else if (arg.rfind("--csv=", 0) == 0) {
             args.push_back("--benchmark_out=" + arg.substr(6));
             args.push_back("--benchmark_out_format=csv");
+        } else if (arg == "--backend" && i + 1 < argc) {
+            relperf::linalg::set_default_backend(argv[++i]);
+        } else if (arg.rfind("--backend=", 0) == 0) {
+            relperf::linalg::set_default_backend(arg.substr(10));
+        } else if (arg == "--list-backends") {
+            relperf::bench::print_backends();
+            return 0;
         } else {
             args.push_back(arg);
         }
@@ -182,4 +218,7 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

@@ -44,7 +44,9 @@ int main(int argc, char** argv) try {
     cli.add_option("workers", "shard worker threads (0 = all cores)", "0");
     cli.add_flag("verify", "also run the single-process path and check the "
                            "sharded clustering is identical");
+    bench::add_backend_options(cli);
     if (!cli.parse(argc, argv)) return 0;
+    if (!bench::apply_backend_options(cli)) return 0;
 
     const std::vector<std::size_t> sizes =
         str::parse_size_list(cli.value("sizes"), "--sizes");
@@ -68,6 +70,9 @@ int main(int argc, char** argv) try {
         spec.platform = preset;
         spec.measurements = n;
         spec.measurement_seed = config.measurement_seed;
+        if (const auto backend = cli.value_optional("backend")) {
+            spec.backend = *backend; // recorded in the plan (and its hash)
+        }
         spec.shards = shards;
         spec.clustering_repetitions = config.clustering.repetitions;
         spec.clustering_seed = config.clustering.seed;

@@ -20,6 +20,17 @@ core::MeasurementSet merge_shards(const CampaignSpec& spec,
 
     for (const ShardResult& shard : shards) {
         const ShardManifest& m = shard.manifest;
+        // Backend first: a cross-backend merge also fails the hash check,
+        // but "different backend" is the actionable message — mixing
+        // portable and vendor measurements of the same math would cluster
+        // different variants as one.
+        if (m.backend != spec.backend) {
+            throw Error(str::format(
+                "merge_shards: shard %zu was measured on the '%s' linalg "
+                "backend, this spec demands '%s' — same algorithm on a "
+                "different backend is a different variant, refusing to merge",
+                m.shard_index, m.backend.c_str(), spec.backend.c_str()));
+        }
         if (m.spec_hash != expected_hash) {
             throw Error(str::format(
                 "merge_shards: shard %zu was measured under a different plan "

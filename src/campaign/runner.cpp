@@ -1,6 +1,7 @@
 #include "campaign/runner.hpp"
 
 #include "campaign/sharder.hpp"
+#include "linalg/backend.hpp"
 #include "sim/analytic.hpp"
 #include "sim/executor.hpp"
 #include "sim/real_executor.hpp"
@@ -66,6 +67,10 @@ core::MeasurementSet measure_plan(const CampaignSpec& spec,
 ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
                       std::size_t shard_count) {
     spec.validate();
+    // Fail before measuring anything when this build cannot honor the
+    // plan's backend (validate() deliberately does not check availability:
+    // a collecting host without the backend must still be able to merge).
+    (void)linalg::backend(spec.backend);
     const std::size_t count = effective_shard_count(spec, shard_count);
     const Sharder sharder(spec.assignments().size(), count);
 
@@ -75,6 +80,7 @@ ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
     result.manifest.shard_count = count;
     result.manifest.campaign = spec.name;
     result.manifest.host = host_name();
+    result.manifest.backend = spec.backend;
     result.measurements = measure_plan(spec, sharder.plan(shard_index));
     return result;
 }

@@ -47,6 +47,7 @@ void write_shard_csv(const ShardResult& shard, const std::string& path) {
     out << "# shard_index = " << m.shard_index << '\n';
     out << "# shard_count = " << m.shard_count << '\n';
     out << "# host = " << m.host << '\n';
+    out << "# backend = " << m.backend << '\n';
     out << "algorithm,measurement_index,seconds\n";
     for (std::size_t i = 0; i < shard.measurements.size(); ++i) {
         const auto samples = shard.measurements.samples(i);
@@ -105,6 +106,8 @@ ShardResult read_shard_csv(const std::string& path) {
                 out.manifest.campaign = value;
             } else if (key == "host") {
                 out.manifest.host = value;
+            } else if (key == "backend") {
+                out.manifest.backend = value;
             }
             // Unknown keys are ignored: forward compatibility for future
             // manifest fields.

@@ -46,6 +46,7 @@ void CampaignSpec::validate() const {
                     "campaign: more than 16 tasks means more than 65536 "
                     "assignments — not a sensible campaign");
     RELPERF_REQUIRE(iters > 0, "campaign: iters must be positive");
+    RELPERF_REQUIRE(!backend.empty(), "campaign: backend must not be empty");
     RELPERF_REQUIRE(measurements > 0,
                     "campaign: measurements (N) must be positive");
     RELPERF_REQUIRE(shards > 0, "campaign: shards (K) must be positive");
@@ -84,6 +85,7 @@ std::string CampaignSpec::to_text() const {
     out << "iters = " << iters << '\n';
     out << "executor = " << to_string(executor) << '\n';
     out << "platform = " << platform << '\n';
+    out << "backend = " << backend << '\n';
     out << "measurements = " << measurements << '\n';
     out << "measurement_seed = " << measurement_seed << '\n';
     out << "device_threads = " << device_threads << '\n';
@@ -145,6 +147,8 @@ CampaignSpec CampaignSpec::parse(const std::string& text,
                 spec.executor = executor_kind_from_string(value);
             } else if (key == "platform") {
                 spec.platform = value;
+            } else if (key == "backend") {
+                spec.backend = value;
             } else if (key == "measurements") {
                 spec.measurements = str::parse_size(value, key);
             } else if (key == "measurement_seed") {
@@ -228,6 +232,10 @@ std::uint64_t CampaignSpec::hash() const {
     }
     plan << ";measurements=" << measurements
          << ";measurement_seed=" << measurement_seed;
+    // Backward-compatible hashing: the default backend contributes nothing,
+    // so spec files and shard manifests from before the backend axis keep
+    // their hashes; any other backend is a different measurement plan.
+    if (backend != "portable") plan << ";backend=" << backend;
 
     // FNV-1a 64-bit.
     std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -239,7 +247,7 @@ std::uint64_t CampaignSpec::hash() const {
 }
 
 workloads::TaskChain CampaignSpec::chain() const {
-    return workloads::make_rls_chain(sizes, iters, name + "-chain");
+    return workloads::make_rls_chain(sizes, iters, name + "-chain", backend);
 }
 
 std::vector<workloads::DeviceAssignment> CampaignSpec::assignments() const {

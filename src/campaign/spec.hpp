@@ -40,6 +40,13 @@ struct CampaignSpec {
     std::string platform = "paper-cpu-gpu"; ///< Sim preset (see platform_preset).
     std::size_t measurements = 30;          ///< Paper's N, per algorithm.
     std::uint64_t measurement_seed = 0xFEEDULL;
+    /// linalg backend the chain's kernels run on ("portable", "blas",
+    /// "reference"; see linalg/backend.hpp). Part of the measurement plan —
+    /// the same math on a different backend is a different variant — so a
+    /// non-default backend enters hash() and cross-backend merges are
+    /// rejected. Availability is checked when a shard *runs*, not in
+    /// validate(): a collecting host without the backend can still merge.
+    std::string backend = "portable";
 
     // Real-executor emulation knobs (paper footnote 2), ignored for Sim.
     int device_threads = 1;        ///< OpenMP team of the emulated Device.
@@ -76,10 +83,12 @@ struct CampaignSpec {
     void save(const std::string& path) const;
 
     /// FNV-1a hash of the *measurement plan* — the fields that determine
-    /// measured values (workload, executor, platform, N, seed, real-executor
-    /// knobs). The label, the default shard count and the analysis knobs are
-    /// excluded: they cannot change any measurement, so shards stay mergeable
-    /// across K choices and analysis re-runs. merge_shards enforces equality.
+    /// measured values (workload, executor, platform, backend, N, seed,
+    /// real-executor knobs). The label, the default shard count and the
+    /// analysis knobs are excluded: they cannot change any measurement, so
+    /// shards stay mergeable across K choices and analysis re-runs. The
+    /// default backend ("portable") contributes nothing, keeping pre-backend
+    /// hashes stable. merge_shards enforces equality.
     [[nodiscard]] std::uint64_t hash() const;
 
     /// The chain this campaign measures.

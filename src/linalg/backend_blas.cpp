@@ -1,0 +1,142 @@
+//! The `blas` backend: vendor dgemm/dsyrk (BLAS) and dpotrf (LAPACK) through
+//! the Fortran ABI, so `find_package(BLAS)`/`find_package(LAPACK)` libraries
+//! work without any vendor header. Compiled only when the build defines
+//! RELPERF_HAVE_BLAS (a found vendor BLAS, or the bundled testing shim in
+//! blas_shim.cpp).
+//!
+//! Layout bridging: relperf matrices are row-major, the Fortran ABI is
+//! column-major. No copies are needed —
+//!  * GEMM uses C_rm = A·B  ⇔  C'_cm = B'·A' with X' the column-major view
+//!    (i.e. the transpose) of row-major X, so the operands are swapped.
+//!  * SYRK with the column-major view A' = Aᵀ (n x m) computes
+//!    A'·A'ᵀ = AᵀA directly.
+//!  * DPOTRF on the 'U' (column-major upper) triangle of a symmetric input
+//!    writes exactly the row-major lower factor L.
+//!
+//! LP64 interface: dimensions pass as 32-bit int (the default ABI of
+//! OpenBLAS/Netlib/MKL-lp64 packages); larger dimensions are rejected.
+
+#include "linalg/backend.hpp"
+#include "linalg/matrix.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+#include <climits>
+
+extern "C" {
+void dgemm_(const char* transa, const char* transb, const int* m, const int* n,
+            const int* k, const double* alpha, const double* a, const int* lda,
+            const double* b, const int* ldb, const double* beta, double* c,
+            const int* ldc);
+void dsyrk_(const char* uplo, const char* trans, const int* n, const int* k,
+            const double* alpha, const double* a, const int* lda,
+            const double* beta, double* c, const int* ldc);
+void dpotrf_(const char* uplo, const int* n, double* a, const int* lda,
+             int* info);
+}
+
+namespace relperf::linalg {
+
+namespace {
+
+int blas_dim(std::size_t value, const char* what) {
+    RELPERF_REQUIRE(value <= static_cast<std::size_t>(INT_MAX),
+                    std::string("blas backend: ") + what +
+                        " exceeds the LP64 BLAS interface limit");
+    return static_cast<int>(value);
+}
+
+void blas_gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
+               Matrix& c) {
+    RELPERF_REQUIRE(a.cols() == b.rows(), "gemm: inner dimensions differ");
+    RELPERF_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+                    "gemm: output shape mismatch");
+    const std::size_t m = a.rows();
+    const std::size_t n = b.cols();
+    const std::size_t k = a.cols();
+    if (m == 0 || n == 0) return;
+    if (k == 0 || alpha == 0.0) {
+        // Quick return mirroring the portable kernel: C = beta * C without
+        // touching the (possibly empty) operand pointers.
+        if (beta == 0.0) {
+            c.set_zero();
+        } else if (beta != 1.0) {
+            for (double& x : c.data()) x *= beta;
+        }
+        return;
+    }
+
+    // Column-major view: C' (n x m) = B' (n x k) * A' (k x m).
+    const int mm = blas_dim(n, "gemm n");
+    const int nn = blas_dim(m, "gemm m");
+    const int kk = blas_dim(k, "gemm k");
+    dgemm_("N", "N", &mm, &nn, &kk, &alpha, b.data().data(), &mm,
+           a.data().data(), &kk, &beta, c.data().data(), &mm);
+}
+
+void blas_syrk(const Matrix& a, Matrix& c) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    if (c.rows() != n || c.cols() != n) c = Matrix(n, n);
+    else c.set_zero();
+    if (n == 0) return;
+    if (m == 0) return; // C = AᵀA over zero rows is the zero matrix
+
+    // Column-major view A' = Aᵀ is n x m: A'·A'ᵀ = AᵀA. Fill the
+    // column-major 'U' triangle (= row-major lower) and mirror, matching the
+    // portable kernel's fill order.
+    const int nn = blas_dim(n, "syrk n");
+    const int kk = blas_dim(m, "syrk m");
+    const double one = 1.0;
+    const double zero = 0.0;
+    dsyrk_("U", "N", &nn, &kk, &one, a.data().data(), &nn, &zero,
+           c.data().data(), &nn);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) c(i, j) = c(j, i);
+    }
+}
+
+void blas_cholesky(Matrix& a) {
+    RELPERF_REQUIRE(a.square(), "cholesky_factor: matrix must be square");
+    const std::size_t n = a.rows();
+    if (n == 0) return;
+
+    // DPOTRF on the column-major upper triangle of the symmetric input
+    // writes U with A = UᵀU; the same memory read row-major is the lower
+    // factor L = Uᵀ with A = LLᵀ (unique for a positive diagonal).
+    const int nn = blas_dim(n, "cholesky n");
+    int info = 0;
+    dpotrf_("U", &nn, a.data().data(), &nn, &info);
+    if (info > 0) {
+        throw InvalidArgument(str::format(
+            "cholesky_factor: leading minor %d is not positive definite "
+            "(matrix not positive definite)",
+            info));
+    }
+    RELPERF_ASSERT(info == 0, "cholesky_factor: dpotrf reported an invalid "
+                              "argument — relperf/BLAS interface bug");
+    // dpotrf leaves the other triangle untouched; zero the row-major strict
+    // upper part for a clean factor, like every other backend.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) a(i, j) = 0.0;
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+Backend make_blas_backend() {
+    return Backend{kBlasBackend,
+#ifdef RELPERF_BLAS_SHIM
+                   "bundled Fortran-ABI shim (dgemm/dsyrk/dpotrf) — testing "
+                   "stand-in for a vendor BLAS",
+#else
+                   "vendor BLAS/LAPACK (dgemm/dsyrk/dpotrf, Fortran ABI)",
+#endif
+                   &blas_gemm, &blas_syrk, &blas_cholesky};
+}
+
+} // namespace detail
+
+} // namespace relperf::linalg

@@ -1,0 +1,123 @@
+//! Bundled Fortran-ABI BLAS/LAPACK shim — compiled only with
+//! -DRELPERF_BLAS_SHIM=ON, and mutually exclusive with a found vendor BLAS.
+//!
+//! Purpose: let the `blas` backend (backend_blas.cpp) — including its
+//! row-major/column-major bridging and its error mapping — build, run and be
+//! parity-tested on machines and CI jobs that have no vendor BLAS installed.
+//! It is a *correctness* stand-in, not a performance one: plain column-major
+//! loops with Fortran calling conventions (leading-dimension arguments,
+//! info codes, beta==0 "C is not read" semantics).
+
+#include <cmath>
+#include <cstddef>
+
+namespace {
+
+inline bool is_trans(char t) {
+    return t == 'T' || t == 't' || t == 'C' || t == 'c';
+}
+
+inline bool is_upper(char u) { return u == 'U' || u == 'u'; }
+
+// Column-major element access: X(i, j) of a matrix with leading dim ld.
+inline const double& cm(const double* x, int ld, int i, int j) {
+    return x[static_cast<std::size_t>(j) * static_cast<std::size_t>(ld) +
+             static_cast<std::size_t>(i)];
+}
+inline double& cm(double* x, int ld, int i, int j) {
+    return x[static_cast<std::size_t>(j) * static_cast<std::size_t>(ld) +
+             static_cast<std::size_t>(i)];
+}
+
+} // namespace
+
+extern "C" {
+
+// C (m x n) = alpha * op(A) * op(B) + beta * C, column-major.
+void dgemm_(const char* transa, const char* transb, const int* m, const int* n,
+            const int* k, const double* alpha, const double* a, const int* lda,
+            const double* b, const int* ldb, const double* beta, double* c,
+            const int* ldc) {
+    const bool ta = is_trans(*transa);
+    const bool tb = is_trans(*transb);
+    for (int j = 0; j < *n; ++j) {
+        for (int i = 0; i < *m; ++i) {
+            double acc = 0.0;
+            for (int p = 0; p < *k; ++p) {
+                const double av = ta ? cm(a, *lda, p, i) : cm(a, *lda, i, p);
+                const double bv = tb ? cm(b, *ldb, j, p) : cm(b, *ldb, p, j);
+                acc += av * bv;
+            }
+            double& out = cm(c, *ldc, i, j);
+            out = *beta == 0.0 ? *alpha * acc : *alpha * acc + *beta * out;
+        }
+    }
+}
+
+// C (n x n, one triangle) = alpha * op(A) * op(A)ᵀ + beta * C, column-major.
+// trans = 'N': A is n x k; trans = 'T': A is k x n and op(A) = Aᵀ.
+void dsyrk_(const char* uplo, const char* trans, const int* n, const int* k,
+            const double* alpha, const double* a, const int* lda,
+            const double* beta, double* c, const int* ldc) {
+    const bool tr = is_trans(*trans);
+    const bool up = is_upper(*uplo);
+    for (int j = 0; j < *n; ++j) {
+        const int i_lo = up ? 0 : j;
+        const int i_hi = up ? j : *n - 1;
+        for (int i = i_lo; i <= i_hi; ++i) {
+            double acc = 0.0;
+            for (int p = 0; p < *k; ++p) {
+                const double av = tr ? cm(a, *lda, p, i) : cm(a, *lda, i, p);
+                const double bv = tr ? cm(a, *lda, p, j) : cm(a, *lda, j, p);
+                acc += av * bv;
+            }
+            double& out = cm(c, *ldc, i, j);
+            out = *beta == 0.0 ? *alpha * acc : *alpha * acc + *beta * out;
+        }
+    }
+}
+
+// Cholesky factorization of the `uplo` triangle, column-major. info > 0:
+// leading minor of that order is not positive definite (1-based, like
+// LAPACK); info < 0: invalid argument (1-based position).
+void dpotrf_(const char* uplo, const int* n, double* a, const int* lda,
+             int* info) {
+    *info = 0;
+    const bool up = is_upper(*uplo);
+    if (!up && !(*uplo == 'L' || *uplo == 'l')) {
+        *info = -1;
+        return;
+    }
+    if (*n < 0) {
+        *info = -2;
+        return;
+    }
+    if (*lda < (*n > 1 ? *n : 1)) {
+        *info = -4;
+        return;
+    }
+    for (int j = 0; j < *n; ++j) {
+        for (int i = 0; i < j; ++i) {
+            // Off-diagonal of column j (upper) / row j (lower).
+            double acc = up ? cm(a, *lda, i, j) : cm(a, *lda, j, i);
+            for (int p = 0; p < i; ++p) {
+                acc -= up ? cm(a, *lda, p, i) * cm(a, *lda, p, j)
+                          : cm(a, *lda, i, p) * cm(a, *lda, j, p);
+            }
+            acc /= cm(a, *lda, i, i);
+            (up ? cm(a, *lda, i, j) : cm(a, *lda, j, i)) = acc;
+        }
+        double diag = cm(a, *lda, j, j);
+        for (int p = 0; p < j; ++p) {
+            const double v = up ? cm(a, *lda, p, j) : cm(a, *lda, j, p);
+            diag -= v * v;
+        }
+        if (!(diag > 0.0)) {
+            *info = j + 1;
+            return;
+        }
+        cm(a, *lda, j, j) = std::sqrt(diag);
+    }
+}
+
+} // extern "C"

@@ -1,5 +1,6 @@
 #include "linalg/cholesky.hpp"
 
+#include "linalg/backend.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 
@@ -8,6 +9,35 @@
 namespace relperf::linalg {
 
 void cholesky_factor(Matrix& a) {
+    RELPERF_REQUIRE(a.square(), "cholesky_factor: matrix must be square");
+    active_backend().cholesky(a);
+}
+
+void cholesky_factor_reference(Matrix& a) {
+    RELPERF_REQUIRE(a.square(), "cholesky_factor: matrix must be square");
+    const std::size_t n = a.rows();
+    // Cholesky–Banachiewicz: build L row by row.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = a(i, j);
+            for (std::size_t p = 0; p < j; ++p) acc -= a(i, p) * a(j, p);
+            if (i == j) {
+                RELPERF_REQUIRE(
+                    acc > 0.0,
+                    relperf::str::format(
+                        "cholesky_factor: non-positive pivot %.3e at %zu "
+                        "(matrix not positive definite)",
+                        acc, j));
+                a(i, j) = std::sqrt(acc);
+            } else {
+                a(i, j) = acc / a(j, j);
+            }
+        }
+        for (std::size_t c = i + 1; c < n; ++c) a(i, c) = 0.0;
+    }
+}
+
+void cholesky_factor_unblocked(Matrix& a) {
     RELPERF_REQUIRE(a.square(), "cholesky_factor: matrix must be square");
     const std::size_t n = a.rows();
     for (std::size_t j = 0; j < n; ++j) {

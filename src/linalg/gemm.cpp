@@ -1,5 +1,6 @@
 #include "linalg/gemm.hpp"
 
+#include "linalg/backend.hpp"
 #include "support/error.hpp"
 
 #include <algorithm>
@@ -79,12 +80,16 @@ void set_gemm_threads(int threads) noexcept {
     g_gemm_threads.store(threads < 0 ? 0 : threads, std::memory_order_relaxed);
 }
 
+int gemm_thread_setting() noexcept {
+    return g_gemm_threads.load(std::memory_order_relaxed);
+}
+
 int gemm_threads() noexcept {
-    const int t = g_gemm_threads.load(std::memory_order_relaxed);
 #ifdef _OPENMP
+    const int t = g_gemm_threads.load(std::memory_order_relaxed);
     return t == 0 ? omp_get_max_threads() : t;
 #else
-    return t == 0 ? 1 : t; // serial build: one thread unless explicitly overridden
+    return 1; // serial build: the kernels cannot run wider, whatever the setting
 #endif
 }
 
@@ -98,12 +103,15 @@ void gemm_reference(double alpha, const Matrix& a, const Matrix& b, double beta,
         for (std::size_t j = 0; j < n; ++j) {
             double acc = 0.0;
             for (std::size_t p = 0; p < k; ++p) acc += a(i, p) * b(p, j);
-            c(i, j) = alpha * acc + beta * c(i, j);
+            // BLAS semantics: beta == 0 means C is not read, so garbage
+            // (even NaN) in the output matrix is overwritten, not propagated.
+            c(i, j) = beta == 0.0 ? alpha * acc : alpha * acc + beta * c(i, j);
         }
     }
 }
 
-void gemm(double alpha, const Matrix& a, const Matrix& b, double beta, Matrix& c) {
+void gemm_blocked(double alpha, const Matrix& a, const Matrix& b, double beta,
+                  Matrix& c) {
     check_shapes(a, b, c);
     const std::size_t m = a.rows();
     const std::size_t n = b.cols();
@@ -173,6 +181,11 @@ void gemm(double alpha, const Matrix& a, const Matrix& b, double beta, Matrix& c
             }
         }
     }
+}
+
+void gemm(double alpha, const Matrix& a, const Matrix& b, double beta, Matrix& c) {
+    check_shapes(a, b, c); // one error contract for every backend
+    active_backend().gemm(alpha, a, b, beta, c);
 }
 
 Matrix multiply(const Matrix& a, const Matrix& b) {

@@ -2,14 +2,20 @@
 //! \file gemm.hpp
 //! General matrix-matrix multiplication: C = alpha * A * B + beta * C.
 //!
-//! Two implementations:
-//!  * `gemm_reference` — textbook triple loop; the correctness oracle.
-//!  * `gemm`           — cache-blocked, B-packed, OpenMP-parallel kernel
-//!                       with an unrolled 4x4 register micro-kernel.
+//! Three entry points:
+//!  * `gemm_reference` — textbook triple loop; the correctness oracle and the
+//!                       `reference` backend's kernel.
+//!  * `gemm_blocked`   — cache-blocked, B-packed, OpenMP-parallel kernel with
+//!                       an unrolled 4x4 register micro-kernel; the
+//!                       `portable` backend's kernel.
+//!  * `gemm`           — dispatches to the active backend (see backend.hpp);
+//!                       this is what workloads call.
 //!
-//! `set_gemm_threads` clamps the OpenMP team used by `gemm`; the
-//! RealExecutor maps the paper's "edge device" to 1 thread and the
-//! "accelerator" to the full machine (paper footnote 2).
+//! `set_gemm_threads` clamps the OpenMP team used by the portable kernels;
+//! the RealExecutor maps the paper's "edge device" to 1 thread and the
+//! "accelerator" to the full machine (paper footnote 2). A vendor `blas`
+//! backend manages its own threads (OPENBLAS_NUM_THREADS etc.); the clamp
+//! does not apply to it.
 
 #include "linalg/matrix.hpp"
 
@@ -19,14 +25,30 @@ namespace relperf::linalg {
 void gemm_reference(double alpha, const Matrix& a, const Matrix& b, double beta,
                     Matrix& c);
 
-/// Blocked + packed + OpenMP implementation.
+/// Blocked + packed + OpenMP implementation (the `portable` backend kernel).
+void gemm_blocked(double alpha, const Matrix& a, const Matrix& b, double beta,
+                  Matrix& c);
+
+/// Dispatches through the active backend. Throws InvalidArgument unless
+/// a.cols() == b.rows(), c.rows() == a.rows() and c.cols() == b.cols();
+/// 0-sized dimensions are legal and leave the (possibly empty) C = beta * C.
+/// BLAS semantics: beta == 0 means C is never read, so C may hold garbage.
 void gemm(double alpha, const Matrix& a, const Matrix& b, double beta, Matrix& c);
 
-/// Convenience: returns A * B.
+/// Convenience: returns A * B via the active backend.
 [[nodiscard]] Matrix multiply(const Matrix& a, const Matrix& b);
 
-/// Number of threads `gemm` may use; 0 = library default (max).
+/// Number of threads the portable kernels may use; 0 = library default (max).
+/// Negative values are clamped to 0.
 void set_gemm_threads(int threads) noexcept;
+
+/// The raw value last passed to set_gemm_threads (0 = library default).
+/// Use this — not gemm_threads() — to save and restore the setting.
+[[nodiscard]] int gemm_thread_setting() noexcept;
+
+/// The effective team size the portable kernels will run with: the setting,
+/// resolved against the machine. Serial (no-OpenMP) builds always report 1 —
+/// the kernels cannot run wider regardless of the setting.
 [[nodiscard]] int gemm_threads() noexcept;
 
 /// FLOP count of a GEMM with these dimensions (2*m*n*k, plus m*n for beta).

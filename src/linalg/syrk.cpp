@@ -1,5 +1,6 @@
 #include "linalg/syrk.hpp"
 
+#include "linalg/backend.hpp"
 #include "linalg/gemm.hpp"
 #include "support/error.hpp"
 
@@ -7,7 +8,22 @@
 
 namespace relperf::linalg {
 
-void gram(const Matrix& a, Matrix& c) {
+void gram_reference(const Matrix& a, Matrix& c) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    if (c.rows() != n || c.cols() != n) c = Matrix(n, n);
+    else c.set_zero();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = 0.0;
+            for (std::size_t p = 0; p < m; ++p) acc += a(p, i) * a(p, j);
+            c(i, j) = acc;
+            c(j, i) = acc;
+        }
+    }
+}
+
+void gram_blocked(const Matrix& a, Matrix& c) {
     const std::size_t m = a.rows();
     const std::size_t n = a.cols();
     if (c.rows() != n || c.cols() != n) c = Matrix(n, n);
@@ -42,6 +58,8 @@ void gram(const Matrix& a, Matrix& c) {
         for (std::size_t j = i + 1; j < n; ++j) c(i, j) = c(j, i);
     }
 }
+
+void gram(const Matrix& a, Matrix& c) { active_backend().syrk(a, c); }
 
 Matrix gram(const Matrix& a) {
     Matrix c;

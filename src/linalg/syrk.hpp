@@ -3,15 +3,25 @@
 //! Symmetric rank-k update specialized for the Gram matrix the RLS task
 //! needs: C = Aᵀ A (exploits symmetry, computes the lower triangle and
 //! mirrors it).
+//!
+//! `gram` dispatches through the active backend (see backend.hpp);
+//! `gram_blocked` is the portable blocked kernel and `gram_reference` the
+//! textbook oracle. All three produce full (mirrored) storage and resize C.
 
 #include "linalg/matrix.hpp"
 
 namespace relperf::linalg {
 
-/// C = Aᵀ A, full (mirrored) storage. C is resized/overwritten.
+/// C = Aᵀ A via the active backend; C is resized/overwritten.
 void gram(const Matrix& a, Matrix& c);
 
-/// Convenience returning a fresh Gram matrix.
+/// Textbook triple loop (single-threaded). Oracle for tests.
+void gram_reference(const Matrix& a, Matrix& c);
+
+/// Blocked, OpenMP-parallel lower-triangle kernel (the `portable` backend).
+void gram_blocked(const Matrix& a, Matrix& c);
+
+/// Convenience returning a fresh Gram matrix (active backend).
 [[nodiscard]] Matrix gram(const Matrix& a);
 
 /// FLOPs of the Gram computation: n*(n+1)*m (n = cols, m = rows).

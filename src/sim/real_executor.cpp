@@ -1,11 +1,13 @@
 #include "sim/real_executor.hpp"
 
+#include "linalg/backend.hpp"
 #include "linalg/gemm.hpp"
 #include "support/error.hpp"
 #include "workloads/mathtask.hpp"
 #include "workloads/task.hpp"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 
 namespace relperf::sim {
@@ -13,6 +15,20 @@ namespace relperf::sim {
 using workloads::Placement;
 
 namespace {
+
+/// Restores the raw gemm thread setting on scope exit, so a throwing task
+/// cannot leak the per-device clamp into the process-wide setting (other
+/// shard workers would measure under the wrong clamp).
+class ThreadSettingRestorer {
+public:
+    ThreadSettingRestorer() : saved_(linalg::gemm_thread_setting()) {}
+    ~ThreadSettingRestorer() { linalg::set_gemm_threads(saved_); }
+    ThreadSettingRestorer(const ThreadSettingRestorer&) = delete;
+    ThreadSettingRestorer& operator=(const ThreadSettingRestorer&) = delete;
+
+private:
+    int saved_;
+};
 
 void busy_or_sleep(double seconds) {
     if (seconds <= 0.0) return;
@@ -43,7 +59,14 @@ double RealExecutor::run_once(const workloads::TaskChain& chain,
                               stats::Rng& rng) const {
     RELPERF_REQUIRE(chain.size() == assignment.size(),
                     "RealExecutor: assignment length must match chain length");
-    const int saved_threads = linalg::gemm_threads();
+    // Save the raw setting (not the resolved team size): restoring a
+    // resolved value would silently pin "library default" (0) to whatever
+    // the machine width was during this run.
+    const ThreadSettingRestorer restore_threads;
+    // The chain's backend is part of what is being measured; select it
+    // before the clock starts (empty = inherit the active backend).
+    std::optional<linalg::ScopedBackend> scope;
+    if (!chain.backend.empty()) scope.emplace(chain.backend);
 
     const auto start = std::chrono::steady_clock::now();
     double carry = 0.0;
@@ -66,7 +89,6 @@ double RealExecutor::run_once(const workloads::TaskChain& chain,
     if (prev == Placement::Accelerator) busy_or_sleep(device_.switch_delay_s);
     const auto stop = std::chrono::steady_clock::now();
 
-    linalg::set_gemm_threads(saved_threads);
     (void)carry; // the scalar result is intentionally unused: timing only
     return std::chrono::duration<double>(stop - start).count();
 }

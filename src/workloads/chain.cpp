@@ -33,11 +33,12 @@ TaskChain two_loop_chain() {
 }
 
 TaskChain make_rls_chain(const std::vector<std::size_t>& sizes, std::size_t iters,
-                         const std::string& name) {
+                         const std::string& name, const std::string& backend) {
     RELPERF_REQUIRE(!sizes.empty(), "make_rls_chain: need at least one task");
     RELPERF_REQUIRE(iters > 0, "make_rls_chain: iters must be positive");
     TaskChain chain;
     chain.name = name;
+    chain.backend = backend;
     chain.tasks.reserve(sizes.size());
     for (std::size_t i = 0; i < sizes.size(); ++i) {
         chain.tasks.push_back(TaskSpec{"L" + std::to_string(i + 1),

@@ -18,6 +18,12 @@ namespace relperf::workloads {
 struct TaskChain {
     std::string name;
     std::vector<TaskSpec> tasks;
+    /// linalg backend the chain's kernels run on ("portable", "blas", ...);
+    /// empty = inherit whatever backend is active on the executing thread.
+    /// The same math on a different backend is a distinct measurable variant
+    /// (the paper's generic vs vendor-optimized axis), so executors select
+    /// this backend for the duration of a run.
+    std::string backend;
 
     [[nodiscard]] std::size_t size() const noexcept { return tasks.size(); }
 };
@@ -32,10 +38,12 @@ struct TaskChain {
 /// slightly; see sim/profile.cpp for the timing side).
 [[nodiscard]] TaskChain two_loop_chain();
 
-/// Generic RLS chain with arbitrary sizes.
+/// Generic RLS chain with arbitrary sizes. `backend` selects the linalg
+/// backend the chain runs on (empty = inherit the active backend).
 [[nodiscard]] TaskChain make_rls_chain(const std::vector<std::size_t>& sizes,
                                        std::size_t iters,
-                                       const std::string& name = "rls-chain");
+                                       const std::string& name = "rls-chain",
+                                       const std::string& backend = "");
 
 /// Total FLOPs executed on each placement under `assignment`; index 0 =
 /// Device, 1 = Accelerator. Drives the Section IV FLOPs/energy criteria.

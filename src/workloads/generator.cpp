@@ -19,9 +19,17 @@ TaskChain random_chain(const GeneratorConfig& config, stats::Rng& rng) {
                     "random_chain: invalid iters range");
     RELPERF_REQUIRE(config.gemm_prob >= 0.0 && config.gemm_prob <= 1.0,
                     "random_chain: gemm_prob must be a probability");
+    for (const std::string& backend : config.backends) {
+        RELPERF_REQUIRE(!backend.empty(),
+                        "random_chain: backend names must not be empty");
+    }
 
     TaskChain chain;
     chain.name = "random-chain";
+    if (!config.backends.empty()) {
+        chain.backend =
+            config.backends[rng.uniform_index(config.backends.size())];
+    }
     const std::size_t tasks = draw_in(config.min_tasks, config.max_tasks, rng);
     chain.tasks.reserve(tasks);
     for (std::size_t i = 0; i < tasks; ++i) {

@@ -7,6 +7,8 @@
 #include "workloads/chain.hpp"
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 namespace relperf::workloads {
 
@@ -20,6 +22,12 @@ struct GeneratorConfig {
     std::size_t max_iters = 20;
     /// Probability that a generated task is a GEMM loop (else RLS loop).
     double gemm_prob = 0.3;
+    /// linalg backends to draw the chain's backend from, uniformly. Empty
+    /// (the default) leaves chain.backend empty — the chain inherits the
+    /// active backend, exactly the pre-backend behavior. Entries need not be
+    /// registered in this build: the chain is plain data; executing it on a
+    /// missing backend throws then.
+    std::vector<std::string> backends;
 };
 
 /// Draws a random chain; deterministic in (config, rng state).

@@ -1,10 +1,12 @@
 #include "workloads/mathtask.hpp"
 
+#include "linalg/backend.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/rls.hpp"
 #include "support/error.hpp"
 
 #include <cmath>
+#include <optional>
 
 namespace relperf::workloads {
 
@@ -47,6 +49,9 @@ double run_task(const TaskSpec& spec, double carry, stats::Rng& rng) {
 
 double run_chain(const TaskChain& chain, stats::Rng& rng) {
     RELPERF_REQUIRE(!chain.tasks.empty(), "run_chain: empty chain");
+    // Select the chain's backend for the whole run (empty = inherit).
+    std::optional<linalg::ScopedBackend> scope;
+    if (!chain.backend.empty()) scope.emplace(chain.backend);
     double carry = 0.0;
     for (const TaskSpec& spec : chain.tasks) {
         carry = run_task(spec, carry, rng);

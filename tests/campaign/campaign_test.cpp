@@ -209,6 +209,69 @@ TEST(Campaign, MergeRejectsTamperedShardContents) {
     EXPECT_THROW((void)campaign::merge_shards(spec, {s0, s1}), relperf::Error);
 }
 
+TEST(Campaign, BackendChangesThePlanHash) {
+    // Two specs identical except for `backend` are different measurement
+    // plans: same algorithm on a different backend is a different variant.
+    const campaign::CampaignSpec portable = small_spec();
+    campaign::CampaignSpec reference = small_spec();
+    reference.backend = "reference";
+    EXPECT_NE(portable.hash(), reference.hash());
+
+    // The default backend hashes like a pre-backend spec did (the field is
+    // omitted from the plan text), so old shard files remain mergeable.
+    campaign::CampaignSpec explicit_default = small_spec();
+    explicit_default.backend = "portable";
+    EXPECT_EQ(portable.hash(), explicit_default.hash());
+}
+
+TEST(Campaign, MergeRejectsCrossBackendShardsWithAClearError) {
+    const campaign::CampaignSpec spec = small_spec();
+    campaign::CampaignSpec other = small_spec();
+    other.backend = "reference";
+
+    std::vector<campaign::ShardResult> shards;
+    shards.push_back(campaign::run_shard(spec, 0, 2));
+    shards.push_back(campaign::run_shard(other, 1, 2));
+    try {
+        (void)campaign::merge_shards(spec, shards);
+        FAIL() << "expected a cross-backend merge to be rejected";
+    } catch (const relperf::Error& e) {
+        const std::string message = e.what();
+        // The error must name the backends, not just a hash mismatch.
+        EXPECT_NE(message.find("backend"), std::string::npos) << message;
+        EXPECT_NE(message.find("reference"), std::string::npos) << message;
+        EXPECT_NE(message.find("portable"), std::string::npos) << message;
+    }
+}
+
+TEST(Campaign, NonDefaultBackendCampaignMergesAndMatchesItself) {
+    // A reference-backend campaign shards and merges exactly like a portable
+    // one; for the Sim executor the measured values do not depend on the
+    // backend (the analytic model times the math, not the kernels), so this
+    // checks the full plumbing end to end.
+    campaign::CampaignSpec spec = small_spec();
+    spec.backend = "reference";
+    const core::MeasurementSet reference = reference_run(spec).measurements;
+    std::vector<campaign::ShardResult> shards;
+    for (std::size_t i = 0; i < 3; ++i) {
+        shards.push_back(campaign::run_shard(spec, i, 3));
+        EXPECT_EQ(shards.back().manifest.backend, "reference");
+    }
+    expect_sets_identical(campaign::merge_shards(spec, shards), reference);
+}
+
+TEST(Campaign, RunShardRejectsUnavailableBackend) {
+    campaign::CampaignSpec spec = small_spec();
+    spec.backend = "warp-core";
+    // validate() accepts it (merge-only hosts need no kernels)...
+    EXPECT_NO_THROW(spec.validate());
+    // ...but measuring a shard on this build must fail up front.
+    EXPECT_THROW((void)campaign::run_shard(spec, 0, 2),
+                 relperf::InvalidArgument);
+    EXPECT_THROW((void)campaign::LocalShardRunner(1).run(spec, 2),
+                 relperf::InvalidArgument);
+}
+
 TEST(Campaign, RealExecutorCampaignRunsAndMerges) {
     campaign::CampaignSpec spec;
     spec.name = "gtest-real";

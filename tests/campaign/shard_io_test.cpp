@@ -20,6 +20,7 @@ campaign::ShardResult sample_shard() {
     shard.manifest.shard_count = 3;
     shard.manifest.campaign = "edge-sweep";
     shard.manifest.host = "rpi-kitchen";
+    shard.manifest.backend = "blas";
     shard.measurements.add("algDA", {0.25, 0.26, 0.24});
     shard.measurements.add("algAA", {0.125, 1.0 / 3.0, 0.1275});
     return shard;
@@ -46,6 +47,7 @@ TEST(ShardIo, RoundTripsManifestAndMeasurementsExactly) {
     EXPECT_EQ(loaded.manifest.shard_count, original.manifest.shard_count);
     EXPECT_EQ(loaded.manifest.campaign, original.manifest.campaign);
     EXPECT_EQ(loaded.manifest.host, original.manifest.host);
+    EXPECT_EQ(loaded.manifest.backend, original.manifest.backend);
 
     ASSERT_EQ(loaded.measurements.size(), original.measurements.size());
     for (std::size_t i = 0; i < original.measurements.size(); ++i) {
@@ -136,4 +138,18 @@ TEST(ShardIo, ExpandsGlobPatterns) {
 
 TEST(ShardIo, HostNameIsNonEmpty) {
     EXPECT_FALSE(campaign::host_name().empty());
+}
+
+TEST(ShardIo, PreBackendShardFilesReadAsPortable) {
+    // Files written before the backend axis have no `# backend` line; they
+    // were measured on the (only) portable kernels, and must read as such.
+    const std::string path = write_temp(
+        "# spec_hash = 00000000000000ff\n"
+        "# shard_index = 0\n"
+        "# shard_count = 2\n"
+        "algorithm,measurement_index,seconds\nalgD,0,1.0\n",
+        "relperf_shard_prebackend.csv");
+    const campaign::ShardResult loaded = campaign::read_shard_csv(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(loaded.manifest.backend, "portable");
 }

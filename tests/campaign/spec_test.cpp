@@ -23,6 +23,7 @@ campaign::CampaignSpec sample_spec() {
     spec.clustering_repetitions = 40;
     spec.clustering_seed = 9;
     spec.tie_epsilon = 0.03;
+    spec.backend = "reference";
     return spec;
 }
 
@@ -40,6 +41,7 @@ TEST(CampaignSpec, TextRoundTripPreservesEveryField) {
     EXPECT_EQ(loaded.platform, original.platform);
     EXPECT_EQ(loaded.measurements, original.measurements);
     EXPECT_EQ(loaded.measurement_seed, original.measurement_seed);
+    EXPECT_EQ(loaded.backend, original.backend);
     EXPECT_EQ(loaded.shards, original.shards);
     EXPECT_EQ(loaded.clustering_repetitions, original.clustering_repetitions);
     EXPECT_EQ(loaded.clustering_seed, original.clustering_seed);
@@ -136,6 +138,32 @@ TEST(CampaignSpec, HashCoversTheMeasurementPlanOnly) {
     variant = base;
     variant.executor = campaign::ExecutorKind::Real;
     EXPECT_NE(variant.hash(), base.hash());
+    variant = base;
+    variant.backend = "blas";
+    EXPECT_NE(variant.hash(), base.hash());
+}
+
+TEST(CampaignSpec, BackendDefaultsToPortableAndIsValidated) {
+    // Spec files from before the backend axis carry no `backend` key and
+    // must keep parsing (and hashing) as the portable plans they were.
+    const campaign::CampaignSpec pre_backend =
+        campaign::CampaignSpec::parse("campaign = old\nsizes = 8\n");
+    EXPECT_EQ(pre_backend.backend, "portable");
+
+    campaign::CampaignSpec explicit_default = pre_backend;
+    explicit_default.backend = "portable";
+    EXPECT_EQ(pre_backend.hash(), explicit_default.hash());
+
+    campaign::CampaignSpec empty = pre_backend;
+    empty.backend = "";
+    EXPECT_THROW(empty.validate(), relperf::InvalidArgument);
+
+    // Unregistered backends pass validate() — a collecting host without the
+    // backend still merges; run_shard checks availability instead.
+    campaign::CampaignSpec vendor = pre_backend;
+    vendor.backend = "some-future-backend";
+    EXPECT_NO_THROW(vendor.validate());
+    EXPECT_NE(vendor.hash(), pre_backend.hash());
 }
 
 TEST(CampaignSpec, PlatformPresetsResolve) {

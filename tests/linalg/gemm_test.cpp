@@ -92,20 +92,21 @@ INSTANTIATE_TEST_SUITE_P(
                     std::make_tuple(7, 301, 2), std::make_tuple(256, 64, 300)));
 
 TEST(Gemm, ThreadSettingRoundTrips) {
-    const int saved = linalg::gemm_threads();
+    const int saved = linalg::gemm_thread_setting();
     linalg::set_gemm_threads(1);
-    EXPECT_EQ(linalg::gemm_threads(), 1);
+    EXPECT_EQ(linalg::gemm_thread_setting(), 1);
     linalg::set_gemm_threads(4);
-    EXPECT_EQ(linalg::gemm_threads(), 4);
+    EXPECT_EQ(linalg::gemm_thread_setting(), 4);
     linalg::set_gemm_threads(0); // library default
-    EXPECT_GE(linalg::gemm_threads(), 1);
+    EXPECT_EQ(linalg::gemm_thread_setting(), 0);
+    EXPECT_GE(linalg::gemm_threads(), 1); // effective team is always >= 1
     linalg::set_gemm_threads(saved);
 }
 
 TEST(Gemm, SingleThreadMatchesParallel) {
     const Matrix a = random(96, 80, 6);
     const Matrix b = random(80, 72, 7);
-    const int saved = linalg::gemm_threads();
+    const int saved = linalg::gemm_thread_setting();
 
     linalg::set_gemm_threads(1);
     Matrix c1(96, 72);

@@ -71,6 +71,44 @@ TEST(RandomChain, TaskNamesAreSequential) {
     }
 }
 
+TEST(RandomChain, DefaultConfigLeavesBackendInherited) {
+    const GeneratorConfig config;
+    Rng rng(41);
+    EXPECT_TRUE(workloads::random_chain(config, rng).backend.empty());
+}
+
+TEST(RandomChain, DrawsBackendFromConfiguredAxis) {
+    GeneratorConfig config;
+    config.backends = {"portable", "reference"};
+    Rng rng(43);
+    bool saw_portable = false;
+    bool saw_reference = false;
+    for (int trial = 0; trial < 64; ++trial) {
+        const std::string backend =
+            workloads::random_chain(config, rng).backend;
+        ASSERT_TRUE(backend == "portable" || backend == "reference") << backend;
+        saw_portable = saw_portable || backend == "portable";
+        saw_reference = saw_reference || backend == "reference";
+    }
+    // Uniform draw over two entries: 64 trials miss one side with p = 2^-63.
+    EXPECT_TRUE(saw_portable);
+    EXPECT_TRUE(saw_reference);
+
+    config.backends = {"blas"};
+    EXPECT_EQ(workloads::random_chain(config, rng).backend, "blas");
+}
+
+TEST(RandomChain, BackendDrawIsSeedDeterministic) {
+    GeneratorConfig config;
+    config.backends = {"portable", "reference", "blas"};
+    Rng a(5);
+    Rng b(5);
+    for (int trial = 0; trial < 10; ++trial) {
+        EXPECT_EQ(workloads::random_chain(config, a).backend,
+                  workloads::random_chain(config, b).backend);
+    }
+}
+
 TEST(RandomChain, InvalidConfigThrows) {
     Rng rng(1);
     GeneratorConfig bad;
@@ -86,5 +124,10 @@ TEST(RandomChain, InvalidConfigThrows) {
     GeneratorConfig bad_prob;
     bad_prob.gemm_prob = 1.5;
     EXPECT_THROW((void)workloads::random_chain(bad_prob, rng),
+                 relperf::InvalidArgument);
+
+    GeneratorConfig bad_backend;
+    bad_backend.backends = {"portable", ""};
+    EXPECT_THROW((void)workloads::random_chain(bad_backend, rng),
                  relperf::InvalidArgument);
 }

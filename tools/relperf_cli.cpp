@@ -32,6 +32,7 @@
 #include "core/io.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "linalg/backend.hpp"
 #include "support/cli.hpp"
 #include "support/str.hpp"
 
@@ -60,8 +61,25 @@ void report_analysis(const core::AnalysisResult& result,
     }
 }
 
-int campaign_init(const std::string& path) {
+/// --list-backends: what this build can measure on.
+int list_backends() {
+    std::printf("linalg backends in this build (default: %s):\n",
+                linalg::default_backend().name.c_str());
+    for (const std::string& name : linalg::backend_names()) {
+        std::printf("  %-10s %s\n", name.c_str(),
+                    linalg::backend(name).description.c_str());
+    }
+    if (!linalg::has_backend(linalg::kBlasBackend)) {
+        std::puts("  (no 'blas' backend: rebuild with -DRELPERF_ENABLE_BLAS=ON "
+                  "and a vendor BLAS/LAPACK)");
+    }
+    return 0;
+}
+
+int campaign_init(const std::string& path,
+                  const std::optional<std::string>& backend) {
     campaign::CampaignSpec spec;
+    if (backend) spec.backend = *backend;
     spec.save(path);
     std::printf("campaign spec written to %s\n\n", path.c_str());
     std::printf("next steps (K = any shard count, here 2):\n"
@@ -83,10 +101,10 @@ int campaign_shard(const campaign::CampaignSpec& spec, const std::string& ref_te
         campaign::run_shard(spec, ref.index, ref.count);
     campaign::write_shard_csv(shard, *out_path);
     std::printf("campaign '%s' shard %zu/%zu: %zu algorithms x %zu "
-                "measurements -> %s (spec hash %016llx)\n",
+                "measurements -> %s (backend %s, spec hash %016llx)\n",
                 spec.name.c_str(), ref.index, ref.count,
                 shard.measurements.size(), spec.measurements,
-                out_path->c_str(),
+                out_path->c_str(), spec.backend.c_str(),
                 static_cast<unsigned long long>(shard.manifest.spec_hash));
     return 0;
 }
@@ -225,10 +243,19 @@ int main(int argc, char** argv) try {
     cli.add_option("workers", "worker threads for --run (0 = all cores)", "1");
     cli.add_option("merged-csv", "also write the merged measurements CSV here "
                                  "(--merge/--run modes)", "");
+    cli.add_option("backend", "linalg backend for campaign modes (overrides "
+                              "the spec's `backend`; see --list-backends)", "");
+    cli.add_flag("list-backends", "list the linalg backends of this build and "
+                                  "exit");
     if (!cli.parse(argc, argv)) return 0;
 
+    if (cli.flag("list-backends")) {
+        return list_backends();
+    }
+
+    const auto backend_override = cli.value_optional("backend");
     if (const auto init_path = cli.value_optional("campaign-init")) {
-        return campaign_init(*init_path);
+        return campaign_init(*init_path, backend_override);
     }
 
     const auto input = cli.value_optional("input");
@@ -238,10 +265,19 @@ int main(int argc, char** argv) try {
                    stderr);
         return 2;
     }
+    if (input && backend_override) {
+        std::fputs("error: --backend only applies to campaign modes "
+                   "(--input CSVs were measured elsewhere)\n",
+                   stderr);
+        return 2;
+    }
 
     if (campaign_path) {
-        const campaign::CampaignSpec spec =
+        campaign::CampaignSpec spec =
             campaign::CampaignSpec::load(*campaign_path);
+        // The override changes the measurement plan (and so the spec hash):
+        // every shard and the merge must be invoked with the same --backend.
+        if (backend_override) spec.backend = *backend_override;
         const auto shard_ref = cli.value_optional("shard");
         const auto merge_pattern = cli.value_optional("merge");
         const int modes = (shard_ref ? 1 : 0) + (merge_pattern ? 1 : 0) +
