@@ -44,6 +44,9 @@ int main(int argc, char** argv) try {
     cli.add_option("workers", "shard worker threads (0 = all cores)", "0");
     cli.add_flag("verify", "also run the single-process path and check the "
                            "sharded clustering is identical");
+    cli.add_option("variants", "per-task backend axis, comma-separated "
+                               "(grows each campaign to the (2B)^k placement "
+                               "x backend variants)", "");
     bench::add_backend_options(cli);
     if (!cli.parse(argc, argv)) return 0;
     if (!bench::apply_backend_options(cli)) return 0;
@@ -55,7 +58,21 @@ int main(int argc, char** argv) try {
     const std::size_t shards = str::parse_size(cli.value("shards"), "--shards");
     const std::size_t workers = str::parse_size(cli.value("workers"), "--workers");
     const core::AnalysisConfig config = bench::analysis_config(cli, n);
-    const auto assignments = workloads::enumerate_assignments(sizes.size());
+
+    std::vector<std::string> variant_backends;
+    if (const auto axis = cli.value_optional("variants")) {
+        variant_backends = str::parse_name_list(*axis, "--variants");
+    }
+    // The measured algorithm list (identical across platforms): plain
+    // placements, or placement x backend variants when an axis was given.
+    std::vector<workloads::VariantAssignment> variants;
+    if (variant_backends.empty()) {
+        for (const auto& a : workloads::enumerate_assignments(sizes.size())) {
+            variants.emplace_back(a);
+        }
+    } else {
+        variants = workloads::enumerate_variants(sizes.size(), variant_backends);
+    }
 
     std::vector<std::string> header = {"Algorithm"};
     std::vector<core::AnalysisResult> results;
@@ -73,6 +90,7 @@ int main(int argc, char** argv) try {
         if (const auto backend = cli.value_optional("backend")) {
             spec.backend = *backend; // recorded in the plan (and its hash)
         }
+        spec.variant_backends = variant_backends;
         spec.shards = shards;
         spec.clustering_repetitions = config.clustering.repetitions;
         spec.clustering_seed = config.clustering.seed;
@@ -91,7 +109,7 @@ int main(int argc, char** argv) try {
             bool identical =
                 solo.clustering.cluster_count() ==
                 results.back().clustering.cluster_count();
-            for (std::size_t alg = 0; identical && alg < assignments.size();
+            for (std::size_t alg = 0; identical && alg < variants.size();
                  ++alg) {
                 identical = solo.clustering.final_rank(alg) ==
                             results.back().clustering.final_rank(alg);
@@ -110,8 +128,8 @@ int main(int argc, char** argv) try {
     bench::section("Final class of every split, per platform (chain sizes " +
                    cli.value("sizes") + ")");
     support::AsciiTable table(header);
-    for (std::size_t alg = 0; alg < assignments.size(); ++alg) {
-        std::vector<std::string> row = {assignments[alg].alg_name()};
+    for (std::size_t alg = 0; alg < variants.size(); ++alg) {
+        std::vector<std::string> row = {variants[alg].alg_name()};
         for (const core::AnalysisResult& result : results) {
             row.push_back(
                 "C" + std::to_string(result.clustering.final_rank(alg)) + " (" +
@@ -131,9 +149,9 @@ int main(int argc, char** argv) try {
         support::CsvWriter csv(*csv_path, {"platform", "algorithm",
                                            "final_cluster", "mean_seconds"});
         for (std::size_t p = 0; p < results.size(); ++p) {
-            for (std::size_t alg = 0; alg < assignments.size(); ++alg) {
+            for (std::size_t alg = 0; alg < variants.size(); ++alg) {
                 csv.add_row({campaign::platform_preset_names()[p],
-                             assignments[alg].alg_name(),
+                             variants[alg].alg_name(),
                              std::to_string(
                                  results[p].clustering.final_rank(alg)),
                              str::format("%.12g",

@@ -31,6 +31,18 @@ core::MeasurementSet merge_shards(const CampaignSpec& spec,
                 "different backend is a different variant, refusing to merge",
                 m.shard_index, m.backend.c_str(), spec.backend.c_str()));
         }
+        if (m.variant_backends != spec.variant_backends) {
+            const auto describe = [](const std::vector<std::string>& list) {
+                return list.empty() ? std::string("<none>")
+                                    : str::join(list, ",");
+            };
+            throw Error(str::format(
+                "merge_shards: shard %zu was measured over the per-task "
+                "backend axis [%s], this spec demands [%s] — the variant "
+                "spaces differ, refusing to merge",
+                m.shard_index, describe(m.variant_backends).c_str(),
+                describe(spec.variant_backends).c_str()));
+        }
         if (m.spec_hash != expected_hash) {
             throw Error(str::format(
                 "merge_shards: shard %zu was measured under a different plan "
@@ -65,9 +77,8 @@ core::MeasurementSet merge_shards(const CampaignSpec& spec,
         }
     }
 
-    const std::vector<workloads::DeviceAssignment> assignments =
-        spec.assignments();
-    const Sharder sharder(assignments.size(), shard_count);
+    const std::vector<workloads::VariantAssignment> variants = spec.variants();
+    const Sharder sharder(variants.size(), shard_count);
 
     // Every shard must contain exactly its plan: the planned algorithms with
     // N samples each.
@@ -81,7 +92,7 @@ core::MeasurementSet merge_shards(const CampaignSpec& spec,
                 i, set.size(), plan.assignment_indices.size()));
         }
         for (const std::size_t global : plan.assignment_indices) {
-            const std::string name = assignments[global].alg_name();
+            const std::string name = variants[global].alg_name();
             if (!set.contains(name)) {
                 throw Error(str::format(
                     "merge_shards: shard %zu is missing algorithm %s",
@@ -100,10 +111,10 @@ core::MeasurementSet merge_shards(const CampaignSpec& spec,
 
     // Stitch back in global enumeration order.
     core::MeasurementSet merged;
-    for (std::size_t global = 0; global < assignments.size(); ++global) {
+    for (std::size_t global = 0; global < variants.size(); ++global) {
         const core::MeasurementSet& set =
             by_index[sharder.owner_of(global)]->measurements;
-        const std::string name = assignments[global].alg_name();
+        const std::string name = variants[global].alg_name();
         const auto samples = set.samples(set.index_of(name));
         merged.add(name, {samples.begin(), samples.end()});
     }

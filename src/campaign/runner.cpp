@@ -22,14 +22,13 @@ std::size_t effective_shard_count(const CampaignSpec& spec,
     return shard_count == 0 ? spec.shards : shard_count;
 }
 
-/// Measures the assignments of `plan` with the spec's executor. Each
-/// assignment runs on the stream derived from its global index, making the
-/// result identical to the corresponding slice of the unsharded pipeline.
+/// Measures the variants of `plan` with the spec's executor. Each variant
+/// runs on the stream derived from its global index, making the result
+/// identical to the corresponding slice of the unsharded pipeline.
 core::MeasurementSet measure_plan(const CampaignSpec& spec,
                                   const ShardPlan& plan) {
     const workloads::TaskChain chain = spec.chain();
-    const std::vector<workloads::DeviceAssignment> assignments =
-        spec.assignments();
+    const std::vector<workloads::VariantAssignment> variants = spec.variants();
 
     core::MeasurementSet set;
     const auto stream_for = [&](std::size_t global_index) {
@@ -42,8 +41,8 @@ core::MeasurementSet measure_plan(const CampaignSpec& spec,
         const sim::SimulatedExecutor executor(model, sim::NoiseModel{});
         for (const std::size_t index : plan.assignment_indices) {
             stats::Rng stream = stream_for(index);
-            set.add(assignments[index].alg_name(),
-                    executor.measure(chain, assignments[index],
+            set.add(variants[index].alg_name(),
+                    executor.measure(chain, variants[index],
                                      spec.measurements, stream));
         }
     } else {
@@ -54,8 +53,8 @@ core::MeasurementSet measure_plan(const CampaignSpec& spec,
         const sim::RealExecutor executor(device, accelerator);
         for (const std::size_t index : plan.assignment_indices) {
             stats::Rng stream = stream_for(index);
-            set.add(assignments[index].alg_name(),
-                    executor.measure(chain, assignments[index],
+            set.add(variants[index].alg_name(),
+                    executor.measure(chain, variants[index],
                                      spec.measurements, stream, spec.warmup));
         }
     }
@@ -68,11 +67,14 @@ ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
                       std::size_t shard_count) {
     spec.validate();
     // Fail before measuring anything when this build cannot honor the
-    // plan's backend (validate() deliberately does not check availability:
-    // a collecting host without the backend must still be able to merge).
+    // plan's backends (validate() deliberately does not check availability:
+    // a collecting host without the backends must still be able to merge).
     (void)linalg::backend(spec.backend);
+    for (const std::string& name : spec.variant_backends) {
+        (void)linalg::backend(name);
+    }
     const std::size_t count = effective_shard_count(spec, shard_count);
-    const Sharder sharder(spec.assignments().size(), count);
+    const Sharder sharder(spec.variants().size(), count);
 
     ShardResult result;
     result.manifest.spec_hash = spec.hash();
@@ -81,6 +83,7 @@ ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
     result.manifest.campaign = spec.name;
     result.manifest.host = host_name();
     result.manifest.backend = spec.backend;
+    result.manifest.variant_backends = spec.variant_backends;
     result.measurements = measure_plan(spec, sharder.plan(shard_index));
     return result;
 }
@@ -95,8 +98,8 @@ std::vector<ShardResult> LocalShardRunner::run(const CampaignSpec& spec,
                                                std::size_t shard_count) const {
     spec.validate();
     const std::size_t count = effective_shard_count(spec, shard_count);
-    // Validate K against the assignment count before spawning anything.
-    (void)Sharder(spec.assignments().size(), count);
+    // Validate K against the variant count before spawning anything.
+    (void)Sharder(spec.variants().size(), count);
 
     // Real campaigns measure wall-clock time on this machine: concurrent
     // shards would measure each other's contention, so run them serially.

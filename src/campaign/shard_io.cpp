@@ -48,6 +48,12 @@ void write_shard_csv(const ShardResult& shard, const std::string& path) {
     out << "# shard_count = " << m.shard_count << '\n';
     out << "# host = " << m.host << '\n';
     out << "# backend = " << m.backend << '\n';
+    // Only written for per-task-variant campaigns: plain campaigns keep the
+    // exact pre-variant file form.
+    if (!m.variant_backends.empty()) {
+        out << "# variant_backends = " << str::join(m.variant_backends, ",")
+            << '\n';
+    }
     out << "algorithm,measurement_index,seconds\n";
     for (std::size_t i = 0; i < shard.measurements.size(); ++i) {
         const auto samples = shard.measurements.samples(i);
@@ -108,6 +114,9 @@ ShardResult read_shard_csv(const std::string& path) {
                 out.manifest.host = value;
             } else if (key == "backend") {
                 out.manifest.backend = value;
+            } else if (key == "variant_backends") {
+                out.manifest.variant_backends =
+                    str::parse_name_list(value, key);
             }
             // Unknown keys are ignored: forward compatibility for future
             // manifest fields.

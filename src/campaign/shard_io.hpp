@@ -33,12 +33,16 @@ struct ShardManifest {
     std::size_t shard_count = 1;  ///< K.
     std::string campaign;         ///< Spec label (informational).
     std::string host;             ///< Producing host name (informational).
-    /// linalg backend the shard was measured on. Files from before the
-    /// backend axis carry no `# backend` line and read back as "portable"
-    /// (which is exactly what they ran on). merge_shards rejects a backend
-    /// that disagrees with the spec *before* comparing hashes, so a
-    /// cross-backend merge fails with a message naming the real cause.
+    /// Chain-default linalg backend the shard was measured on. Files from
+    /// before the backend axis carry no `# backend` line and read back as
+    /// "portable" (which is exactly what they ran on). merge_shards rejects
+    /// a backend that disagrees with the spec *before* comparing hashes, so
+    /// a cross-backend merge fails with a message naming the real cause.
     std::string backend = "portable";
+    /// Per-task backend axis of the plan (`# variant_backends = a,b`); empty
+    /// for plain-placement campaigns and for files from before the variant
+    /// axis. Checked against the spec by merge_shards like `backend`.
+    std::vector<std::string> variant_backends;
 };
 
 /// One shard's manifest plus its measured distributions (the algorithms of

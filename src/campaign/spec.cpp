@@ -47,6 +47,29 @@ void CampaignSpec::validate() const {
                     "assignments — not a sensible campaign");
     RELPERF_REQUIRE(iters > 0, "campaign: iters must be positive");
     RELPERF_REQUIRE(!backend.empty(), "campaign: backend must not be empty");
+    if (!variant_backends.empty()) {
+        std::set<std::string> unique;
+        for (const std::string& name : variant_backends) {
+            RELPERF_REQUIRE(!name.empty(),
+                            "campaign: variant_backends entries must not be "
+                            "empty");
+            RELPERF_REQUIRE(unique.insert(name).second,
+                            "campaign: duplicate variant backend '" + name +
+                                "'");
+        }
+        // (2B)^k variants; the same 65536-algorithm ceiling the plain
+        // assignment plan has.
+        const std::size_t choices = 2 * variant_backends.size();
+        std::size_t count = 1;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            RELPERF_REQUIRE(count <= 65536 / choices,
+                            str::format("campaign: (2*%zu)^%zu variants "
+                                        "exceed 65536 — not a sensible "
+                                        "campaign",
+                                        variant_backends.size(), sizes.size()));
+            count *= choices;
+        }
+    }
     RELPERF_REQUIRE(measurements > 0,
                     "campaign: measurements (N) must be positive");
     RELPERF_REQUIRE(shards > 0, "campaign: shards (K) must be positive");
@@ -86,6 +109,12 @@ std::string CampaignSpec::to_text() const {
     out << "executor = " << to_string(executor) << '\n';
     out << "platform = " << platform << '\n';
     out << "backend = " << backend << '\n';
+    // Only emitted when the per-task axis is on: uniform specs keep their
+    // pre-variant text (and therefore byte-identical spec files).
+    if (!variant_backends.empty()) {
+        out << "variant_backends = " << str::join(variant_backends, ",")
+            << '\n';
+    }
     out << "measurements = " << measurements << '\n';
     out << "measurement_seed = " << measurement_seed << '\n';
     out << "device_threads = " << device_threads << '\n';
@@ -149,6 +178,8 @@ CampaignSpec CampaignSpec::parse(const std::string& text,
                 spec.platform = value;
             } else if (key == "backend") {
                 spec.backend = value;
+            } else if (key == "variant_backends") {
+                spec.variant_backends = str::parse_name_list(value, key);
             } else if (key == "measurements") {
                 spec.measurements = str::parse_size(value, key);
             } else if (key == "measurement_seed") {
@@ -236,6 +267,11 @@ std::uint64_t CampaignSpec::hash() const {
     // so spec files and shard manifests from before the backend axis keep
     // their hashes; any other backend is a different measurement plan.
     if (backend != "portable") plan << ";backend=" << backend;
+    // Same rule for the per-task axis: an empty variant_backends list is the
+    // pre-variant plan and contributes nothing.
+    if (!variant_backends.empty()) {
+        plan << ";variant_backends=" << str::join(variant_backends, ",");
+    }
 
     // FNV-1a 64-bit.
     std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -252,6 +288,17 @@ workloads::TaskChain CampaignSpec::chain() const {
 
 std::vector<workloads::DeviceAssignment> CampaignSpec::assignments() const {
     return workloads::enumerate_assignments(sizes.size());
+}
+
+std::vector<workloads::VariantAssignment> CampaignSpec::variants() const {
+    if (!variant_backends.empty()) {
+        return workloads::enumerate_variants(sizes.size(), variant_backends);
+    }
+    std::vector<workloads::VariantAssignment> out;
+    for (const workloads::DeviceAssignment& assignment : assignments()) {
+        out.emplace_back(assignment);
+    }
+    return out;
 }
 
 core::AnalysisConfig CampaignSpec::analysis_config() const {

@@ -40,13 +40,21 @@ struct CampaignSpec {
     std::string platform = "paper-cpu-gpu"; ///< Sim preset (see platform_preset).
     std::size_t measurements = 30;          ///< Paper's N, per algorithm.
     std::uint64_t measurement_seed = 0xFEEDULL;
-    /// linalg backend the chain's kernels run on ("portable", "blas",
-    /// "reference"; see linalg/backend.hpp). Part of the measurement plan —
-    /// the same math on a different backend is a different variant — so a
-    /// non-default backend enters hash() and cross-backend merges are
-    /// rejected. Availability is checked when a shard *runs*, not in
-    /// validate(): a collecting host without the backend can still merge.
+    /// Chain-default linalg backend ("portable", "blas", "reference"; see
+    /// linalg/backend.hpp). Part of the measurement plan — the same math on
+    /// a different backend is a different variant — so a non-default backend
+    /// enters hash() and cross-backend merges are rejected. Availability is
+    /// checked when a shard *runs*, not in validate(): a collecting host
+    /// without the backend can still merge.
     std::string backend = "portable";
+    /// Per-task backend axis. Empty (the default) measures the plain 2^k
+    /// placement algorithms, exactly the pre-variant plan — and contributes
+    /// nothing to hash(), so existing specs keep their plan hashes and shard
+    /// files. Non-empty backends grow the campaign to the (2·B)^k per-task
+    /// placement×backend variants of workloads::enumerate_variants (spec key
+    /// `variant_backends = portable,blas`); every variant's backends
+    /// override the chain default task by task.
+    std::vector<std::string> variant_backends;
 
     // Real-executor emulation knobs (paper footnote 2), ignored for Sim.
     int device_threads = 1;        ///< OpenMP team of the emulated Device.
@@ -94,9 +102,15 @@ struct CampaignSpec {
     /// The chain this campaign measures.
     [[nodiscard]] workloads::TaskChain chain() const;
 
-    /// The 2^tasks device assignments, in enumeration order. Positions in
-    /// this list are the global assignment indices the sharder partitions.
+    /// The 2^tasks plain device assignments, in enumeration order (the
+    /// placement axis only; ignores variant_backends).
     [[nodiscard]] std::vector<workloads::DeviceAssignment> assignments() const;
+
+    /// The campaign's full measured algorithm list: the plain assignments
+    /// (backend-inherit) when variant_backends is empty, else the (2·B)^k
+    /// placement×backend variants. Positions in this list are the global
+    /// indices the sharder partitions and the merge stitches back.
+    [[nodiscard]] std::vector<workloads::VariantAssignment> variants() const;
 
     /// Analysis configuration carrying the spec's knobs.
     [[nodiscard]] core::AnalysisConfig analysis_config() const;

@@ -1,5 +1,6 @@
 #include "core/io.hpp"
 
+#include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 
@@ -13,37 +14,6 @@
 namespace relperf::core {
 
 namespace {
-
-/// Minimal CSV field splitter handling the quoting csv_escape produces.
-std::vector<std::string> split_csv_row(const std::string& line) {
-    std::vector<std::string> fields;
-    std::string field;
-    bool quoted = false;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-        const char c = line[i];
-        if (quoted) {
-            if (c == '"') {
-                if (i + 1 < line.size() && line[i + 1] == '"') {
-                    field += '"';
-                    ++i;
-                } else {
-                    quoted = false;
-                }
-            } else {
-                field += c;
-            }
-        } else if (c == '"') {
-            quoted = true;
-        } else if (c == ',') {
-            fields.push_back(std::move(field));
-            field.clear();
-        } else if (c != '\r') {
-            field += c;
-        }
-    }
-    fields.push_back(std::move(field));
-    return fields;
-}
 
 /// True for lines the parser ignores: blank (or CRLF-only) and `#` comments
 /// (campaign shard files carry their manifest in comment lines).
@@ -80,7 +50,7 @@ MeasurementSet parse_measurements_csv(const std::string& content,
     if (!have_header) {
         throw Error(source + ": no measurement rows (empty file?)");
     }
-    const std::vector<std::string> header = split_csv_row(line);
+    const std::vector<std::string> header = support::csv_split_row(line);
     if (header.size() != 3 || header[0] != "algorithm" ||
         header[2] != "seconds") {
         fail_at(source, line_number,
@@ -94,7 +64,7 @@ MeasurementSet parse_measurements_csv(const std::string& content,
     while (std::getline(in, line)) {
         ++line_number;
         if (is_skippable(line)) continue;
-        const std::vector<std::string> fields = split_csv_row(line);
+        const std::vector<std::string> fields = support::csv_split_row(line);
         if (fields.size() != 3) {
             fail_at(source, line_number,
                     str::format("row has %zu fields, expected 3",

@@ -37,6 +37,34 @@ MeasurementSet measure_assignments_real(
     return set;
 }
 
+MeasurementSet measure_variants(
+    const sim::SimulatedExecutor& executor, const workloads::TaskChain& chain,
+    const std::vector<workloads::VariantAssignment>& variants, std::size_t n,
+    stats::Rng& rng) {
+    RELPERF_REQUIRE(!variants.empty(), "measure_variants: no variants");
+    MeasurementSet set;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        stats::Rng stream = rng.child(i);
+        set.add(variants[i].alg_name(),
+                executor.measure(chain, variants[i], n, stream));
+    }
+    return set;
+}
+
+MeasurementSet measure_variants_real(
+    const sim::RealExecutor& executor, const workloads::TaskChain& chain,
+    const std::vector<workloads::VariantAssignment>& variants, std::size_t n,
+    stats::Rng& rng, std::size_t warmup) {
+    RELPERF_REQUIRE(!variants.empty(), "measure_variants_real: no variants");
+    MeasurementSet set;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        stats::Rng stream = rng.child(i);
+        set.add(variants[i].alg_name(),
+                executor.measure(chain, variants[i], n, stream, warmup));
+    }
+    return set;
+}
+
 AnalysisResult analyze_chain(
     const sim::SimulatedExecutor& executor, const workloads::TaskChain& chain,
     const std::vector<workloads::DeviceAssignment>& assignments,

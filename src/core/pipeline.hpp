@@ -45,6 +45,21 @@ namespace relperf::core {
     const std::vector<workloads::DeviceAssignment>& assignments, std::size_t n,
     stats::Rng& rng, std::size_t warmup = 1);
 
+/// As measure_assignments, over per-task placement×backend variants. A
+/// variant at position i runs on the identical RNG stream a plain assignment
+/// at position i would — the sharding contract does not care which axis the
+/// algorithm list enumerates.
+[[nodiscard]] MeasurementSet measure_variants(
+    const sim::SimulatedExecutor& executor, const workloads::TaskChain& chain,
+    const std::vector<workloads::VariantAssignment>& variants, std::size_t n,
+    stats::Rng& rng);
+
+/// As measure_assignments_real, over variants.
+[[nodiscard]] MeasurementSet measure_variants_real(
+    const sim::RealExecutor& executor, const workloads::TaskChain& chain,
+    const std::vector<workloads::VariantAssignment>& variants, std::size_t n,
+    stats::Rng& rng, std::size_t warmup = 1);
+
 /// Analysis configuration bundling the paper's N and Rep with the comparator
 /// knobs.
 struct AnalysisConfig {

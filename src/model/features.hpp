@@ -48,4 +48,34 @@ struct FeatureVector {
     const workloads::TaskChain& chain,
     const std::vector<workloads::DeviceAssignment>& assignments);
 
+/// The label used in variant feature names for the empty "inherit the
+/// ambient backend" bucket.
+[[nodiscard]] std::string backend_feature_label(const std::string& backend);
+
+/// Names of the variant features for a k-task chain over the backend
+/// universe `backends` (the distinct resolved backends of the variant set;
+/// may contain "" for the inherit bucket). The per-task iteration features
+/// split by backend — `dev_iters@b[i]` / `acc_iters@b[i]` — and the
+/// chain-level FLOP features become backend-weighted (`device_flops@b`,
+/// `accel_flops@b`), so per-(task, backend) throughput multipliers of the
+/// simulator's cost models still lie exactly in the span of a linear
+/// predictor. Transition/residency features are backend-independent (staging
+/// is data movement) and keep their placement-only form.
+[[nodiscard]] std::vector<std::string> variant_feature_names(
+    const workloads::TaskChain& chain, const std::vector<std::string>& backends);
+
+/// Extracts the variant features of one (chain, variant) pair. Every task's
+/// resolved backend (policy backend, else the chain default) must appear in
+/// `backends`; throws InvalidArgument otherwise.
+[[nodiscard]] FeatureVector extract_variant_features(
+    const workloads::TaskChain& chain,
+    const workloads::VariantAssignment& variant,
+    const std::vector<std::string>& backends);
+
+/// Variant feature matrix (rows in the given order).
+[[nodiscard]] std::vector<FeatureVector> extract_variant_features(
+    const workloads::TaskChain& chain,
+    const std::vector<workloads::VariantAssignment>& variants,
+    const std::vector<std::string>& backends);
+
 } // namespace relperf::model

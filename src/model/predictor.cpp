@@ -4,6 +4,7 @@
 #include "stats/ranking.hpp"
 #include "support/error.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace relperf::model {
@@ -34,23 +35,105 @@ void PerformancePredictor::fit(
         targets.push_back(stats::mean(measurements.samples(i)));
     }
     regressor_.fit(rows, targets, config_.ridge_lambda);
+    variant_mode_ = false;
+    backend_universe_.clear();
+}
+
+void PerformancePredictor::fit(
+    const workloads::TaskChain& chain,
+    const std::vector<workloads::VariantAssignment>& variants,
+    const core::MeasurementSet& measurements) {
+    // The backend universe: every resolved backend of the training set, in
+    // first-seen order (deterministic for a deterministic variant list).
+    std::vector<std::string> universe;
+    for (const workloads::VariantAssignment& variant : variants) {
+        for (std::size_t i = 0; i < variant.size(); ++i) {
+            const std::string& resolved =
+                variant.resolved_backend(i, chain.backend);
+            if (std::find(universe.begin(), universe.end(), resolved) ==
+                universe.end()) {
+                universe.push_back(resolved);
+            }
+        }
+    }
+    fit(chain, variants, measurements, std::move(universe));
+}
+
+void PerformancePredictor::fit(
+    const workloads::TaskChain& chain,
+    const std::vector<workloads::VariantAssignment>& variants,
+    const core::MeasurementSet& measurements,
+    std::vector<std::string> backend_universe) {
+    RELPERF_REQUIRE(variants.size() == measurements.size(),
+                    "PerformancePredictor: variants/measurements mismatch");
+    RELPERF_REQUIRE(variants.size() >= 2,
+                    "PerformancePredictor: need at least two training points");
+    RELPERF_REQUIRE(!backend_universe.empty(),
+                    "PerformancePredictor: empty backend universe");
+
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    rows.reserve(variants.size());
+    targets.reserve(variants.size());
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        rows.push_back(
+            extract_variant_features(chain, variants[i], backend_universe)
+                .values);
+        targets.push_back(stats::mean(measurements.samples(i)));
+    }
+    regressor_.fit(rows, targets, config_.ridge_lambda);
+    variant_mode_ = true;
+    backend_universe_ = std::move(backend_universe);
 }
 
 double PerformancePredictor::predict_seconds(
     const workloads::TaskChain& chain,
     const workloads::DeviceAssignment& assignment) const {
+    if (variant_mode_) {
+        return predict_seconds(chain, workloads::VariantAssignment(assignment));
+    }
     return regressor_.predict(extract_features(chain, assignment).values);
 }
+
+double PerformancePredictor::predict_seconds(
+    const workloads::TaskChain& chain,
+    const workloads::VariantAssignment& variant) const {
+    if (!variant_mode_) {
+        // Fitted on plain assignments: only the backend-inherit projection is
+        // representable in the legacy feature space.
+        RELPERF_REQUIRE(variant.uniform_inherit(),
+                        "PerformancePredictor: fitted on plain assignments; "
+                        "cannot predict a mixed-backend variant");
+        return regressor_.predict(
+            extract_features(chain, variant.device_assignment()).values);
+    }
+    return regressor_.predict(
+        extract_variant_features(chain, variant, backend_universe_).values);
+}
+
+namespace {
+
+/// Shared tie-band decision over two predicted times.
+core::Ordering compare_predicted(double ta, double tb, double tie_epsilon) {
+    const double band = tie_epsilon * std::min(std::fabs(ta), std::fabs(tb));
+    if (std::fabs(ta - tb) <= band) return core::Ordering::Equivalent;
+    return ta < tb ? core::Ordering::Better : core::Ordering::Worse;
+}
+
+} // namespace
 
 core::Ordering PerformancePredictor::compare(
     const workloads::TaskChain& chain, const workloads::DeviceAssignment& a,
     const workloads::DeviceAssignment& b) const {
-    const double ta = predict_seconds(chain, a);
-    const double tb = predict_seconds(chain, b);
-    const double band =
-        config_.tie_epsilon * std::min(std::fabs(ta), std::fabs(tb));
-    if (std::fabs(ta - tb) <= band) return core::Ordering::Equivalent;
-    return ta < tb ? core::Ordering::Better : core::Ordering::Worse;
+    return compare_predicted(predict_seconds(chain, a),
+                             predict_seconds(chain, b), config_.tie_epsilon);
+}
+
+core::Ordering PerformancePredictor::compare(
+    const workloads::TaskChain& chain, const workloads::VariantAssignment& a,
+    const workloads::VariantAssignment& b) const {
+    return compare_predicted(predict_seconds(chain, a),
+                             predict_seconds(chain, b), config_.tie_epsilon);
 }
 
 core::RankedSequence PerformancePredictor::rank(
@@ -61,6 +144,16 @@ core::RankedSequence PerformancePredictor::rank(
         return compare(chain, assignments[a], assignments[b]);
     });
     return sorter.sort(assignments.size());
+}
+
+core::RankedSequence PerformancePredictor::rank(
+    const workloads::TaskChain& chain,
+    const std::vector<workloads::VariantAssignment>& variants) const {
+    RELPERF_REQUIRE(!variants.empty(), "PerformancePredictor: empty set");
+    const core::ThreeWaySorter sorter([&](std::size_t a, std::size_t b) {
+        return compare(chain, variants[a], variants[b]);
+    });
+    return sorter.sort(variants.size());
 }
 
 PredictionEval evaluate_predictor(

@@ -34,15 +34,37 @@ public:
              const std::vector<workloads::DeviceAssignment>& assignments,
              const core::MeasurementSet& measurements);
 
+    /// Trains on measured placement×backend variants. The backend feature
+    /// universe is derived from the training variants (first-seen order of
+    /// each task's resolved backend) and stored, so later predictions can
+    /// only name backends the model has seen — unknown ones throw.
+    void fit(const workloads::TaskChain& chain,
+             const std::vector<workloads::VariantAssignment>& variants,
+             const core::MeasurementSet& measurements);
+
+    /// As above with an explicit backend universe — for callers that will
+    /// predict variants whose backends the training subset may not cover
+    /// (e.g. subset search over a configured axis). Every training variant's
+    /// resolved backend must be in `backend_universe`.
+    void fit(const workloads::TaskChain& chain,
+             const std::vector<workloads::VariantAssignment>& variants,
+             const core::MeasurementSet& measurements,
+             std::vector<std::string> backend_universe);
+
     /// Predicted mean execution time of an (unseen) assignment.
     [[nodiscard]] double predict_seconds(const workloads::TaskChain& chain,
                                          const workloads::DeviceAssignment& assignment) const;
+    [[nodiscard]] double predict_seconds(const workloads::TaskChain& chain,
+                                         const workloads::VariantAssignment& variant) const;
 
     /// Predicted three-way comparison (Better = `a` faster), using the tie
     /// band on predicted times.
     [[nodiscard]] core::Ordering compare(const workloads::TaskChain& chain,
                                          const workloads::DeviceAssignment& a,
                                          const workloads::DeviceAssignment& b) const;
+    [[nodiscard]] core::Ordering compare(const workloads::TaskChain& chain,
+                                         const workloads::VariantAssignment& a,
+                                         const workloads::VariantAssignment& b) const;
 
     /// Predicted ranked sequence (performance classes) over a set of
     /// assignments, via the paper's three-way sort driven by predicted
@@ -50,8 +72,17 @@ public:
     [[nodiscard]] core::RankedSequence rank(
         const workloads::TaskChain& chain,
         const std::vector<workloads::DeviceAssignment>& assignments) const;
+    [[nodiscard]] core::RankedSequence rank(
+        const workloads::TaskChain& chain,
+        const std::vector<workloads::VariantAssignment>& variants) const;
 
     [[nodiscard]] bool is_fitted() const noexcept { return regressor_.is_fitted(); }
+    /// True when the model was fitted on variants (backend-split features).
+    [[nodiscard]] bool variant_mode() const noexcept { return variant_mode_; }
+    /// The stored backend universe (empty unless variant_mode()).
+    [[nodiscard]] const std::vector<std::string>& backend_universe() const noexcept {
+        return backend_universe_;
+    }
     [[nodiscard]] const RidgeRegressor& regressor() const noexcept {
         return regressor_;
     }
@@ -59,6 +90,8 @@ public:
 private:
     PredictorConfig config_;
     RidgeRegressor regressor_;
+    bool variant_mode_ = false;
+    std::vector<std::string> backend_universe_;
 };
 
 /// Goodness of the predicted ordering against measured data.

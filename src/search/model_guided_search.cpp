@@ -26,19 +26,33 @@ ModelGuidedSearch::ModelGuidedSearch(const sim::SimulatedExecutor& executor,
                                      SearchConfig config)
     : executor_(executor), chain_(chain), config_(config) {
     config_.validate();
-    RELPERF_REQUIRE(chain_.size() >= 1 && chain_.size() < 20,
+    RELPERF_REQUIRE(chain_.size() >= 1 &&
+                        chain_.size() < workloads::kMaxEnumeratedTasks,
                     "ModelGuidedSearch: chain length out of range");
 }
 
 SearchResult ModelGuidedSearch::run() const {
-    const std::vector<workloads::DeviceAssignment> space =
-        workloads::enumerate_assignments(chain_.size());
+    // The candidate space: plain placements, or placement×backend variants
+    // when a backend axis was configured. Legacy (placement-only) searches
+    // keep their exact pre-variant numerics: the measurement streams are
+    // unchanged and the predictor is fitted in its legacy feature space.
+    const bool variant_space = !config_.backends.empty();
+    std::vector<workloads::VariantAssignment> space;
+    if (variant_space) {
+        space = workloads::enumerate_variants(chain_.size(), config_.backends);
+    } else {
+        for (const workloads::DeviceAssignment& assignment :
+             workloads::enumerate_assignments(chain_.size())) {
+            space.emplace_back(assignment);
+        }
+    }
 
     stats::Rng rng(config_.seed);
     stats::Rng measure_rng = rng.child(1);
 
     std::vector<bool> measured(space.size(), false);
-    std::vector<workloads::DeviceAssignment> measured_assignments;
+    std::vector<workloads::VariantAssignment> measured_variants;
+    std::vector<workloads::DeviceAssignment> measured_placements;
     core::MeasurementSet measurements;
     std::vector<double> measured_means;
 
@@ -49,7 +63,8 @@ SearchResult ModelGuidedSearch::run() const {
             chain_, space[index], config_.measurements_per_alg, measure_rng);
         measured_means.push_back(stats::mean(samples));
         measurements.add(space[index].alg_name(), std::move(samples));
-        measured_assignments.push_back(space[index]);
+        measured_variants.push_back(space[index]);
+        measured_placements.push_back(space[index].device_assignment());
     };
 
     // Phase 1: random subset.
@@ -64,8 +79,33 @@ SearchResult ModelGuidedSearch::run() const {
 
     // Phase 2: fit / predict / measure the most promising batch.
     model::PerformancePredictor predictor(config_.predictor);
+    // Fit over the *configured* backend universe, not the backends the
+    // sampled subset happens to cover: phase 2 predicts across the whole
+    // space, and a universe derived from an unlucky initial sample would
+    // reject variants on the missing backend. The chain's default backend
+    // rides along so the returned predictor can also price plain
+    // (backend-inherit) assignments.
+    std::vector<std::string> universe = config_.backends;
+    if (variant_space &&
+        std::find(universe.begin(), universe.end(), chain_.backend) ==
+            universe.end()) {
+        universe.push_back(chain_.backend);
+    }
+    const auto fit = [&] {
+        if (variant_space) {
+            predictor.fit(chain_, measured_variants, measurements, universe);
+        } else {
+            predictor.fit(chain_, measured_placements, measurements);
+        }
+    };
+    const auto predict = [&](std::size_t index) {
+        return variant_space
+                   ? predictor.predict_seconds(chain_, space[index])
+                   : predictor.predict_seconds(
+                         chain_, space[index].device_assignment());
+    };
     for (std::size_t round = 0; round < config_.refinement_rounds; ++round) {
-        predictor.fit(chain_, measured_assignments, measurements);
+        fit();
 
         std::vector<std::size_t> unmeasured;
         for (std::size_t i = 0; i < space.size(); ++i) {
@@ -75,8 +115,7 @@ SearchResult ModelGuidedSearch::run() const {
 
         std::sort(unmeasured.begin(), unmeasured.end(),
                   [&](std::size_t a, std::size_t b) {
-                      return predictor.predict_seconds(chain_, space[a]) <
-                             predictor.predict_seconds(chain_, space[b]);
+                      return predict(a) < predict(b);
                   });
 
         const std::size_t batch = std::min(config_.batch_size, unmeasured.size());
@@ -94,7 +133,7 @@ SearchResult ModelGuidedSearch::run() const {
             measure_candidate(unmeasured[pick]);
         }
     }
-    predictor.fit(chain_, measured_assignments, measurements);
+    fit();
 
     // Phase 3: cluster the measured subset with the paper methodology.
     const core::BootstrapComparator comparator;
@@ -102,7 +141,7 @@ SearchResult ModelGuidedSearch::run() const {
 
     SearchResult result;
     result.space_size = space.size();
-    result.measured_count = measured_assignments.size();
+    result.measured_count = measured_variants.size();
     result.clustering = clusterer.cluster(measurements);
 
     std::size_t best_index = 0;
@@ -113,10 +152,12 @@ SearchResult ModelGuidedSearch::run() const {
             best_index = i;
         }
     }
-    result.best = measured_assignments[best_index];
+    result.best = measured_placements[best_index];
+    result.best_variant = measured_variants[best_index];
     result.best_measured_mean = best_mean;
     result.measurements = std::move(measurements);
-    result.measured_assignments = std::move(measured_assignments);
+    result.measured_variants = std::move(measured_variants);
+    result.measured_assignments = std::move(measured_placements);
     result.predictor = std::move(predictor);
     return result;
 }

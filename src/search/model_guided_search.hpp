@@ -35,17 +35,28 @@ struct SearchConfig {
     model::PredictorConfig predictor;   ///< Ridge + tie-band knobs.
     core::ClustererConfig clustering;   ///< Final clustering of the subset.
     std::uint64_t seed = 0xBEEF;
+    /// Per-task backend choices. Empty (the default) searches the paper's
+    /// plain 2^k placement space exactly as before. Non-empty backends grow
+    /// the candidate space to the (2·B)^k placement×backend variants of
+    /// workloads::enumerate_variants — the regime where subset search is the
+    /// only viable methodology.
+    std::vector<std::string> backends;
 
     void validate() const;
 };
 
 /// Outcome of one search.
 struct SearchResult {
-    workloads::DeviceAssignment best{"D"}; ///< Best measured assignment.
+    workloads::DeviceAssignment best{"D"}; ///< Best measured placements.
+    /// Best measured variant (equals `best` with inherit backends when the
+    /// search ran over the plain placement space).
+    workloads::VariantAssignment best_variant{"D"};
     double best_measured_mean = 0.0;   ///< Its measured mean seconds.
-    std::size_t space_size = 0;        ///< 2^k candidates in total.
-    std::size_t measured_count = 0;    ///< Assignments actually executed.
+    std::size_t space_size = 0;        ///< 2^k (or (2B)^k) candidates in total.
+    std::size_t measured_count = 0;    ///< Variants actually executed.
     core::MeasurementSet measurements; ///< All measured distributions.
+    std::vector<workloads::VariantAssignment> measured_variants;
+    /// Placement projections of measured_variants (legacy view).
     std::vector<workloads::DeviceAssignment> measured_assignments;
     core::Clustering clustering;       ///< Paper clustering of the subset.
     model::PerformancePredictor predictor; ///< Final fitted model.
@@ -59,8 +70,10 @@ struct SearchResult {
     }
 };
 
-/// Runs the model-guided search over all 2^k assignments of `chain` on the
-/// given simulated executor.
+/// Runs the model-guided search over the candidate space of `chain` on the
+/// given simulated executor: all 2^k placement assignments by default, or
+/// the (2·B)^k placement×backend variants when SearchConfig::backends is
+/// set.
 class ModelGuidedSearch {
 public:
     ModelGuidedSearch(const sim::SimulatedExecutor& executor,

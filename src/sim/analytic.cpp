@@ -43,6 +43,13 @@ TaskTimeParts AnalyticCostModel::task_parts(const workloads::TaskChain& chain,
     return parts;
 }
 
+double AnalyticCostModel::backend_multiplier(const std::string& backend,
+                                             Placement p) const {
+    return p == Placement::Device
+               ? platform_.backend_gains.device_multiplier(backend)
+               : platform_.backend_gains.accelerator_multiplier(backend);
+}
+
 double AnalyticCostModel::exit_seconds(const workloads::TaskChain& chain,
                                        Placement last) const {
     (void)chain;

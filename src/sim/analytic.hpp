@@ -22,6 +22,10 @@ public:
     [[nodiscard]] double exit_seconds(const workloads::TaskChain& chain,
                                       workloads::Placement last) const override;
 
+    /// The platform's BackendGains entry for `backend` (1.0 when absent).
+    [[nodiscard]] double backend_multiplier(const std::string& backend,
+                                            workloads::Placement p) const override;
+
     [[nodiscard]] std::string name() const override;
 
     [[nodiscard]] const Platform& platform() const noexcept { return platform_; }

@@ -41,6 +41,21 @@ public:
     [[nodiscard]] virtual double exit_seconds(const workloads::TaskChain& chain,
                                               workloads::Placement last) const = 0;
 
+    /// Compute-time multiplier of running a task's kernels on `backend` at
+    /// placement `p` — the per-backend throughput axis that prices mixed
+    /// placement×backend variants. The base class returns 1.0 for every
+    /// backend (including the empty "inherit" name), so cost models that
+    /// ignore the axis price all variants identically to the plain placement
+    /// algorithms. AnalyticCostModel overrides this with the platform's
+    /// BackendGains. The multiplier applies to the compute part only; staging
+    /// is data movement and does not depend on the kernel implementation.
+    [[nodiscard]] virtual double backend_multiplier(const std::string& backend,
+                                                    workloads::Placement p) const {
+        (void)backend;
+        (void)p;
+        return 1.0;
+    }
+
     /// Human-readable model name for reports.
     [[nodiscard]] virtual std::string name() const = 0;
 

@@ -11,10 +11,10 @@ SimulatedExecutor::SimulatedExecutor(const CostModel& model, NoiseModel noise)
     noise_.validate();
 }
 
-TimeBreakdown SimulatedExecutor::simulate(const workloads::TaskChain& chain,
-                                          const workloads::DeviceAssignment& assignment,
-                                          stats::Rng* rng) const {
-    RELPERF_REQUIRE(chain.size() == assignment.size(),
+TimeBreakdown SimulatedExecutor::simulate(
+    const workloads::TaskChain& chain,
+    const workloads::VariantAssignment& variant, stats::Rng* rng) const {
+    RELPERF_REQUIRE(chain.size() == variant.size(),
                     "SimulatedExecutor: assignment length must match chain length");
 
     const auto perturb = [&](double mean) {
@@ -25,9 +25,13 @@ TimeBreakdown SimulatedExecutor::simulate(const workloads::TaskChain& chain,
     TimeBreakdown out;
     Placement prev = Placement::Device; // chains are invoked from the edge
     for (std::size_t i = 0; i < chain.size(); ++i) {
-        const Placement p = assignment.at(i);
+        const Placement p = variant.at(i).placement;
         const TaskTimeParts parts = model_.task_parts(chain, i, p, prev);
-        const double compute = perturb(parts.compute_s);
+        // The backend axis scales compute only: a different kernel
+        // implementation changes arithmetic throughput, not data movement.
+        const double multiplier =
+            model_.backend_multiplier(variant.resolved_backend(i, chain.backend), p);
+        const double compute = perturb(parts.compute_s * multiplier);
         const double staging = perturb(parts.staging_s);
         if (p == Placement::Device) {
             out.device_busy_s += compute;
@@ -47,17 +51,29 @@ TimeBreakdown SimulatedExecutor::simulate(const workloads::TaskChain& chain,
 TimeBreakdown SimulatedExecutor::run_once(const workloads::TaskChain& chain,
                                           const workloads::DeviceAssignment& assignment,
                                           stats::Rng& rng) const {
-    return simulate(chain, assignment, &rng);
+    return simulate(chain, workloads::VariantAssignment(assignment), &rng);
+}
+
+TimeBreakdown SimulatedExecutor::run_once(const workloads::TaskChain& chain,
+                                          const workloads::VariantAssignment& variant,
+                                          stats::Rng& rng) const {
+    return simulate(chain, variant, &rng);
 }
 
 std::vector<double> SimulatedExecutor::measure(const workloads::TaskChain& chain,
                                                const workloads::DeviceAssignment& assignment,
                                                std::size_t n, stats::Rng& rng) const {
+    return measure(chain, workloads::VariantAssignment(assignment), n, rng);
+}
+
+std::vector<double> SimulatedExecutor::measure(const workloads::TaskChain& chain,
+                                               const workloads::VariantAssignment& variant,
+                                               std::size_t n, stats::Rng& rng) const {
     RELPERF_REQUIRE(n > 0, "SimulatedExecutor: need at least one measurement");
     std::vector<double> samples;
     samples.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-        samples.push_back(run_once(chain, assignment, rng).total_s);
+        samples.push_back(run_once(chain, variant, rng).total_s);
     }
     return samples;
 }
@@ -65,13 +81,26 @@ std::vector<double> SimulatedExecutor::measure(const workloads::TaskChain& chain
 double SimulatedExecutor::expected_seconds(
     const workloads::TaskChain& chain,
     const workloads::DeviceAssignment& assignment) const {
-    return simulate(chain, assignment, nullptr).total_s;
+    return simulate(chain, workloads::VariantAssignment(assignment), nullptr)
+        .total_s;
+}
+
+double SimulatedExecutor::expected_seconds(
+    const workloads::TaskChain& chain,
+    const workloads::VariantAssignment& variant) const {
+    return simulate(chain, variant, nullptr).total_s;
 }
 
 TimeBreakdown SimulatedExecutor::expected_breakdown(
     const workloads::TaskChain& chain,
     const workloads::DeviceAssignment& assignment) const {
-    return simulate(chain, assignment, nullptr);
+    return simulate(chain, workloads::VariantAssignment(assignment), nullptr);
+}
+
+TimeBreakdown SimulatedExecutor::expected_breakdown(
+    const workloads::TaskChain& chain,
+    const workloads::VariantAssignment& variant) const {
+    return simulate(chain, variant, nullptr);
 }
 
 } // namespace relperf::sim

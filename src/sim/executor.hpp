@@ -4,6 +4,13 @@
 //! under a deterministic CostModel with stochastic NoiseModel perturbation,
 //! producing the execution-time *distributions* the relative-performance
 //! methodology consumes.
+//!
+//! Assignments come in two flavors: the paper's plain DeviceAssignment
+//! (placement only) and the per-task VariantAssignment (placement × linalg
+//! backend). A variant's backend scales the compute part of each task by the
+//! cost model's backend_multiplier; the portable/inherit multiplier is 1.0,
+//! so plain assignments — and variants whose backends all multiply by 1.0 —
+//! simulate bit-identically to the pre-variant executor.
 
 #include "sim/cost_model.hpp"
 #include "sim/noise.hpp"
@@ -32,27 +39,38 @@ public:
     [[nodiscard]] TimeBreakdown run_once(const workloads::TaskChain& chain,
                                          const workloads::DeviceAssignment& assignment,
                                          stats::Rng& rng) const;
+    [[nodiscard]] TimeBreakdown run_once(const workloads::TaskChain& chain,
+                                         const workloads::VariantAssignment& variant,
+                                         stats::Rng& rng) const;
 
     /// `n` measurements of total wall-clock seconds (the paper's N).
     [[nodiscard]] std::vector<double> measure(const workloads::TaskChain& chain,
                                               const workloads::DeviceAssignment& assignment,
                                               std::size_t n, stats::Rng& rng) const;
+    [[nodiscard]] std::vector<double> measure(const workloads::TaskChain& chain,
+                                              const workloads::VariantAssignment& variant,
+                                              std::size_t n, stats::Rng& rng) const;
 
     /// Noise-free expected wall-clock seconds (calibration/test oracle).
     [[nodiscard]] double expected_seconds(const workloads::TaskChain& chain,
                                           const workloads::DeviceAssignment& assignment) const;
+    [[nodiscard]] double expected_seconds(const workloads::TaskChain& chain,
+                                          const workloads::VariantAssignment& variant) const;
 
     /// Noise-free expected breakdown.
     [[nodiscard]] TimeBreakdown expected_breakdown(
         const workloads::TaskChain& chain,
         const workloads::DeviceAssignment& assignment) const;
+    [[nodiscard]] TimeBreakdown expected_breakdown(
+        const workloads::TaskChain& chain,
+        const workloads::VariantAssignment& variant) const;
 
     [[nodiscard]] const CostModel& model() const noexcept { return model_; }
     [[nodiscard]] const NoiseModel& noise() const noexcept { return noise_; }
 
 private:
     TimeBreakdown simulate(const workloads::TaskChain& chain,
-                           const workloads::DeviceAssignment& assignment,
+                           const workloads::VariantAssignment& variant,
                            stats::Rng* rng) const;
 
     const CostModel& model_;

@@ -57,22 +57,33 @@ RealExecutor::RealExecutor(EmulatedDevice device, EmulatedDevice accelerator)
 double RealExecutor::run_once(const workloads::TaskChain& chain,
                               const workloads::DeviceAssignment& assignment,
                               stats::Rng& rng) const {
-    RELPERF_REQUIRE(chain.size() == assignment.size(),
+    return run_once(chain, workloads::VariantAssignment(assignment), rng);
+}
+
+double RealExecutor::run_once(const workloads::TaskChain& chain,
+                              const workloads::VariantAssignment& variant,
+                              stats::Rng& rng) const {
+    RELPERF_REQUIRE(chain.size() == variant.size(),
                     "RealExecutor: assignment length must match chain length");
     // Save the raw setting (not the resolved team size): restoring a
     // resolved value would silently pin "library default" (0) to whatever
     // the machine width was during this run.
     const ThreadSettingRestorer restore_threads;
-    // The chain's backend is part of what is being measured; select it
-    // before the clock starts (empty = inherit the active backend).
-    std::optional<linalg::ScopedBackend> scope;
-    if (!chain.backend.empty()) scope.emplace(chain.backend);
+
+    // The backends are part of what is being measured; resolve them all
+    // before the clock starts so registry lookups (and their mutex) never
+    // land inside the timed region. nullptr = inherit the ambient backend.
+    std::vector<const linalg::Backend*> task_backends(chain.size(), nullptr);
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        const std::string& name = variant.resolved_backend(i, chain.backend);
+        if (!name.empty()) task_backends[i] = &linalg::backend(name);
+    }
 
     const auto start = std::chrono::steady_clock::now();
     double carry = 0.0;
     Placement prev = Placement::Device;
     for (std::size_t i = 0; i < chain.size(); ++i) {
-        const Placement p = assignment.at(i);
+        const Placement p = variant.at(i).placement;
         const EmulatedDevice& emu =
             p == Placement::Device ? device_ : accelerator_;
         if (p != prev) busy_or_sleep(emu.switch_delay_s);
@@ -83,6 +94,10 @@ double RealExecutor::run_once(const workloads::TaskChain& chain,
         const workloads::TaskCost cost = workloads::task_cost(chain.tasks[i]);
         busy_or_sleep(cost.op_launches * emu.dispatch_delay_s);
 
+        // Enter this task's backend for exactly this task: a per-task policy
+        // is what the variant's algorithm name promises was measured.
+        std::optional<linalg::ScopedBackend> scope;
+        if (task_backends[i] != nullptr) scope.emplace(*task_backends[i]);
         carry = workloads::run_task(chain.tasks[i], carry, rng);
         prev = p;
     }
@@ -97,14 +112,22 @@ std::vector<double> RealExecutor::measure(const workloads::TaskChain& chain,
                                           const workloads::DeviceAssignment& assignment,
                                           std::size_t n, stats::Rng& rng,
                                           std::size_t warmup) const {
+    return measure(chain, workloads::VariantAssignment(assignment), n, rng,
+                   warmup);
+}
+
+std::vector<double> RealExecutor::measure(const workloads::TaskChain& chain,
+                                          const workloads::VariantAssignment& variant,
+                                          std::size_t n, stats::Rng& rng,
+                                          std::size_t warmup) const {
     RELPERF_REQUIRE(n > 0, "RealExecutor: need at least one measurement");
     for (std::size_t i = 0; i < warmup; ++i) {
-        (void)run_once(chain, assignment, rng);
+        (void)run_once(chain, variant, rng);
     }
     std::vector<double> out;
     out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-        out.push_back(run_once(chain, assignment, rng));
+        out.push_back(run_once(chain, variant, rng));
     }
     return out;
 }

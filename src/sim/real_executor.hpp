@@ -8,6 +8,12 @@
 //! and the Accelerator with the full machine plus a per-launch dispatch delay
 //! — producing genuinely noisy, genuinely heterogeneous measurement
 //! distributions without any simulator.
+//!
+//! Variant assignments select the linalg backend *per task* (ScopedBackend is
+//! entered around each task rather than once per run), so "L1 on portable,
+//! L2 offloaded on vendor BLAS" is measured exactly as written. Backends are
+//! resolved before the clock starts; a task with no policy backend runs on
+//! the chain's default backend, and with neither on the ambient backend.
 
 #include "stats/rng.hpp"
 #include "workloads/chain.hpp"
@@ -32,10 +38,17 @@ public:
     [[nodiscard]] double run_once(const workloads::TaskChain& chain,
                                   const workloads::DeviceAssignment& assignment,
                                   stats::Rng& rng) const;
+    [[nodiscard]] double run_once(const workloads::TaskChain& chain,
+                                  const workloads::VariantAssignment& variant,
+                                  stats::Rng& rng) const;
 
     /// `n` wall-clock measurements, with `warmup` unrecorded runs first.
     [[nodiscard]] std::vector<double> measure(const workloads::TaskChain& chain,
                                               const workloads::DeviceAssignment& assignment,
+                                              std::size_t n, stats::Rng& rng,
+                                              std::size_t warmup = 1) const;
+    [[nodiscard]] std::vector<double> measure(const workloads::TaskChain& chain,
+                                              const workloads::VariantAssignment& variant,
                                               std::size_t n, stats::Rng& rng,
                                               std::size_t warmup = 1) const;
 

@@ -63,10 +63,40 @@ double LinkSpec::transfer_seconds(double bytes) const {
     return latency_s + bytes / (bandwidth_gbps * 1e9);
 }
 
+double BackendGains::device_multiplier(const std::string& backend) const noexcept {
+    for (const BackendGain& gain : entries) {
+        if (gain.backend == backend) return gain.device;
+    }
+    return 1.0;
+}
+
+double BackendGains::accelerator_multiplier(
+    const std::string& backend) const noexcept {
+    for (const BackendGain& gain : entries) {
+        if (gain.backend == backend) return gain.accelerator;
+    }
+    return 1.0;
+}
+
+void BackendGains::validate() const {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        RELPERF_REQUIRE(!entries[i].backend.empty(),
+                        "BackendGains: backend name must not be empty");
+        RELPERF_REQUIRE(entries[i].device > 0.0 && entries[i].accelerator > 0.0,
+                        "BackendGains: multipliers must be positive");
+        for (std::size_t j = i + 1; j < entries.size(); ++j) {
+            RELPERF_REQUIRE(entries[i].backend != entries[j].backend,
+                            "BackendGains: duplicate backend '" +
+                                entries[i].backend + "'");
+        }
+    }
+}
+
 void Platform::validate() const {
     device.validate();
     accelerator.validate();
     link.validate();
+    backend_gains.validate();
 }
 
 Platform paper_cpu_gpu_platform() {

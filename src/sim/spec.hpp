@@ -60,12 +60,37 @@ struct LinkSpec {
     [[nodiscard]] double transfer_seconds(double bytes) const;
 };
 
+/// Per-backend compute-time multipliers — how much slower (>1) or faster
+/// (<1) a linalg backend runs the same math on each side of the platform,
+/// relative to the baseline the efficiency curves describe. Backends without
+/// an entry (and the empty "inherit" backend) multiply by exactly 1.0, so a
+/// platform with no gains prices every variant identically to the
+/// pre-variant cost model.
+struct BackendGain {
+    std::string backend;        ///< linalg backend name, e.g. "blas".
+    double device = 1.0;        ///< Compute-time multiplier on the Device.
+    double accelerator = 1.0;   ///< Compute-time multiplier on the Accelerator.
+};
+
+struct BackendGains {
+    std::vector<BackendGain> entries;
+
+    /// Multiplier of `backend` on the given side; 1.0 when absent or empty.
+    [[nodiscard]] double device_multiplier(const std::string& backend) const noexcept;
+    [[nodiscard]] double accelerator_multiplier(const std::string& backend) const noexcept;
+
+    /// Throws InvalidArgument on non-positive multipliers, empty or duplicate
+    /// backend names.
+    void validate() const;
+};
+
 /// A complete two-node edge platform.
 struct Platform {
     std::string name;
     DeviceSpec device;      ///< The edge device (data home).
     DeviceSpec accelerator; ///< The offload target.
     LinkSpec link;
+    BackendGains backend_gains; ///< Empty = every backend at 1.0.
 
     void validate() const;
 };

@@ -18,6 +18,36 @@ std::string csv_escape(const std::string& field) {
     return out;
 }
 
+std::vector<std::string> csv_split_row(const std::string& line) {
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(field));
+            field.clear();
+        } else if (c != '\r') {
+            field += c;
+        }
+    }
+    fields.push_back(std::move(field));
+    return fields;
+}
+
 CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
     : out_(path), width_(header.size()) {
     RELPERF_REQUIRE(!header.empty(), "CsvWriter: header must be non-empty");

@@ -40,4 +40,9 @@ private:
 /// Escapes a single CSV field (exposed for unit tests).
 [[nodiscard]] std::string csv_escape(const std::string& field);
 
+/// Splits one CSV line into fields, handling the quoting csv_escape produces
+/// (quoted fields, doubled inner quotes) and stripping a trailing CR. The
+/// inverse of write_row for a single line.
+[[nodiscard]] std::vector<std::string> csv_split_row(const std::string& line);
+
 } // namespace relperf::support

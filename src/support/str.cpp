@@ -67,6 +67,21 @@ std::vector<std::size_t> parse_size_list(std::string_view text,
     return out;
 }
 
+std::vector<std::string> parse_name_list(std::string_view text,
+                                         const std::string& context) {
+    std::vector<std::string> out;
+    for (const std::string& field : split(text, ',')) {
+        std::string name(trim(field));
+        if (!name.empty()) out.push_back(std::move(name));
+    }
+    if (out.empty()) {
+        throw InvalidArgument(context + ": expected a comma-separated name "
+                                        "list, got '" + std::string(text) +
+                              "'");
+    }
+    return out;
+}
+
 std::string format(const char* fmt, ...) {
     std::va_list args;
     va_start(args, fmt);

@@ -53,6 +53,12 @@ namespace relperf::str {
 [[nodiscard]] std::vector<std::size_t> parse_size_list(std::string_view text,
                                                        const std::string& context);
 
+/// Parses a comma-separated list of names ("portable,blas"); fields are
+/// trimmed, empty fields dropped. Throws InvalidArgument naming `context`
+/// when no name remains (e.g. "", "," or ", ,").
+[[nodiscard]] std::vector<std::string> parse_name_list(std::string_view text,
+                                                       const std::string& context);
+
 /// Streams any << -able value into a string.
 template <typename T>
 [[nodiscard]] std::string to_string(const T& value) {

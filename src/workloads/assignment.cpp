@@ -1,6 +1,9 @@
 #include "workloads/assignment.hpp"
 
 #include "support/error.hpp"
+#include "support/str.hpp"
+
+#include <set>
 
 namespace relperf::workloads {
 
@@ -14,6 +17,71 @@ Placement placement_from_char(char c) {
                         c + "'");
     return static_cast<Placement>(c);
 }
+
+namespace {
+
+/// Backend tokens in assignment strings: registry-style names only, so the
+/// extended syntax stays unambiguous (no ':', ',' or whitespace).
+bool valid_backend_token(const std::string& token) {
+    if (token.empty()) return false;
+    for (const char c : token) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok) return false;
+    }
+    return true;
+}
+
+void require_policy_backend(const std::string& backend) {
+    RELPERF_REQUIRE(backend.empty() || valid_backend_token(backend),
+                    "VariantAssignment: backend name '" + backend +
+                        "' must contain only [A-Za-z0-9_-] characters");
+}
+
+std::vector<Placement> placements_of(const std::vector<ExecutionPolicy>& policies) {
+    std::vector<Placement> out;
+    out.reserve(policies.size());
+    for (const ExecutionPolicy& policy : policies) out.push_back(policy.placement);
+    return out;
+}
+
+/// Parses either assignment syntax into policies. Plain letter strings
+/// ("DDA") mean backend-inherit per task; the extended syntax is
+/// comma-separated `P[:backend]` fields, one per task.
+std::vector<ExecutionPolicy> parse_policies(const std::string& text) {
+    RELPERF_REQUIRE(!text.empty(), "VariantAssignment: empty assignment string");
+    std::vector<ExecutionPolicy> policies;
+
+    if (text.find(',') == std::string::npos &&
+        text.find(':') == std::string::npos) {
+        policies.reserve(text.size());
+        for (const char c : text) {
+            policies.push_back(ExecutionPolicy{placement_from_char(c), ""});
+        }
+        return policies;
+    }
+
+    for (const std::string& field : str::split(text, ',')) {
+        RELPERF_REQUIRE(!field.empty(),
+                        "VariantAssignment: empty task field in '" + text + "'");
+        ExecutionPolicy policy;
+        policy.placement = placement_from_char(field.front());
+        if (field.size() > 1) {
+            RELPERF_REQUIRE(field[1] == ':',
+                            "VariantAssignment: task field '" + field +
+                                "' must be 'D', 'A', 'D:<backend>' or "
+                                "'A:<backend>'");
+            policy.backend = field.substr(2);
+            RELPERF_REQUIRE(valid_backend_token(policy.backend),
+                            "VariantAssignment: bad backend name in field '" +
+                                field + "'");
+        }
+        policies.push_back(std::move(policy));
+    }
+    return policies;
+}
+
+} // namespace
 
 DeviceAssignment::DeviceAssignment(const std::string& letters) {
     RELPERF_REQUIRE(!letters.empty(), "DeviceAssignment: empty letter string");
@@ -57,9 +125,67 @@ std::size_t DeviceAssignment::switch_count() const noexcept {
     return switches;
 }
 
+VariantAssignment::VariantAssignment(const std::string& text)
+    : VariantAssignment(parse_policies(text)) {}
+
+VariantAssignment::VariantAssignment(std::vector<ExecutionPolicy> policies)
+    : policies_(std::move(policies)), placements_([this] {
+          RELPERF_REQUIRE(!policies_.empty(),
+                          "VariantAssignment: empty policy vector");
+          for (const ExecutionPolicy& policy : policies_) {
+              require_policy_backend(policy.backend);
+          }
+          return DeviceAssignment(placements_of(policies_));
+      }()) {}
+
+VariantAssignment::VariantAssignment(const DeviceAssignment& placements)
+    : placements_(placements) {
+    policies_.reserve(placements.size());
+    for (const Placement p : placements.placements()) {
+        policies_.push_back(ExecutionPolicy{p, ""});
+    }
+}
+
+const ExecutionPolicy& VariantAssignment::at(std::size_t task_index) const {
+    RELPERF_REQUIRE(task_index < policies_.size(),
+                    "VariantAssignment: task index out of range");
+    return policies_[task_index];
+}
+
+bool VariantAssignment::uniform_inherit() const noexcept {
+    for (const ExecutionPolicy& policy : policies_) {
+        if (!policy.backend.empty()) return false;
+    }
+    return true;
+}
+
+const std::string& VariantAssignment::resolved_backend(
+    std::size_t task_index, const std::string& chain_default) const {
+    const ExecutionPolicy& policy = at(task_index);
+    return policy.backend.empty() ? chain_default : policy.backend;
+}
+
+std::string VariantAssignment::str() const {
+    if (uniform_inherit()) return placements_.str();
+    std::string out;
+    for (std::size_t i = 0; i < policies_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out.push_back(to_char(policies_[i].placement));
+        if (!policies_[i].backend.empty()) {
+            out.push_back(':');
+            out += policies_[i].backend;
+        }
+    }
+    return out;
+}
+
 std::vector<DeviceAssignment> enumerate_assignments(std::size_t task_count) {
     RELPERF_REQUIRE(task_count > 0, "enumerate_assignments: need at least one task");
-    RELPERF_REQUIRE(task_count < 20, "enumerate_assignments: 2^k would explode");
+    RELPERF_REQUIRE(
+        task_count < kMaxEnumeratedTasks,
+        str::format("enumerate_assignments: 2^k would explode for k = %zu "
+                    "(limit: k < %zu); use subset search instead",
+                    task_count, kMaxEnumeratedTasks));
     std::vector<DeviceAssignment> out;
     const std::size_t total = std::size_t{1} << task_count;
     out.reserve(total);
@@ -72,6 +198,65 @@ std::vector<DeviceAssignment> enumerate_assignments(std::size_t task_count) {
             }
         }
         out.emplace_back(std::move(p));
+    }
+    return out;
+}
+
+std::vector<VariantAssignment> enumerate_variants(
+    std::size_t task_count, const std::vector<std::string>& backends) {
+    RELPERF_REQUIRE(task_count > 0, "enumerate_variants: need at least one task");
+    RELPERF_REQUIRE(
+        task_count < kMaxEnumeratedTasks,
+        str::format("enumerate_variants: (2B)^k would explode for k = %zu "
+                    "(limit: k < %zu); use subset search instead",
+                    task_count, kMaxEnumeratedTasks));
+    RELPERF_REQUIRE(!backends.empty(),
+                    "enumerate_variants: need at least one backend");
+    std::set<std::string> unique;
+    for (const std::string& name : backends) {
+        RELPERF_REQUIRE(valid_backend_token(name),
+                        "enumerate_variants: bad backend name '" + name + "'");
+        RELPERF_REQUIRE(unique.insert(name).second,
+                        "enumerate_variants: duplicate backend '" + name + "'");
+    }
+
+    // (2B)^k, with the product guarded instead of computed blindly.
+    const std::size_t choices = 2 * backends.size();
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < task_count; ++i) {
+        RELPERF_REQUIRE(
+            total <= kMaxEnumeratedVariants / choices,
+            str::format("enumerate_variants: (2*%zu)^%zu variants exceed the "
+                        "%zu enumeration limit; use subset search instead",
+                        backends.size(), task_count, kMaxEnumeratedVariants));
+        total *= choices;
+    }
+
+    // Odometer over the backend tuple, most-significant task first; returns
+    // false when the tuple wraps back to all-zero (the combo space is done).
+    const auto advance = [&](std::vector<std::size_t>& digits) {
+        std::size_t pos = task_count;
+        while (pos > 0) {
+            --pos;
+            if (++digits[pos] < backends.size()) return true;
+            digits[pos] = 0;
+        }
+        return false;
+    };
+
+    std::vector<VariantAssignment> out;
+    out.reserve(total);
+    for (const DeviceAssignment& placements : enumerate_assignments(task_count)) {
+        std::vector<std::size_t> digits(task_count, 0);
+        do {
+            std::vector<ExecutionPolicy> policies;
+            policies.reserve(task_count);
+            for (std::size_t i = 0; i < task_count; ++i) {
+                policies.push_back(
+                    ExecutionPolicy{placements.at(i), backends[digits[i]]});
+            }
+            out.emplace_back(std::move(policies));
+        } while (advance(digits));
     }
     return out;
 }

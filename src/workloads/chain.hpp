@@ -18,11 +18,12 @@ namespace relperf::workloads {
 struct TaskChain {
     std::string name;
     std::vector<TaskSpec> tasks;
-    /// linalg backend the chain's kernels run on ("portable", "blas", ...);
-    /// empty = inherit whatever backend is active on the executing thread.
-    /// The same math on a different backend is a distinct measurable variant
-    /// (the paper's generic vs vendor-optimized axis), so executors select
-    /// this backend for the duration of a run.
+    /// Chain-level *default* linalg backend ("portable", "blas", ...); empty
+    /// = inherit whatever backend is active on the executing thread. The same
+    /// math on a different backend is a distinct measurable variant (the
+    /// paper's generic vs vendor-optimized axis). A VariantAssignment's
+    /// per-task ExecutionPolicy overrides this default task by task; plain
+    /// DeviceAssignments run every task on it.
     std::string backend;
 
     [[nodiscard]] std::size_t size() const noexcept { return tasks.size(); }

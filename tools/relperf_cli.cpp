@@ -29,11 +29,13 @@
 //!   ...
 
 #include "campaign/campaign.hpp"
+#include "core/cluster_diff.hpp"
 #include "core/io.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "linalg/backend.hpp"
 #include "support/cli.hpp"
+#include "support/error.hpp"
 #include "support/str.hpp"
 
 #include <cstdio>
@@ -41,6 +43,52 @@
 using namespace relperf;
 
 namespace {
+
+/// Prints a note when a plan names backends this build does not have. Typos
+/// die loudly when a shard *runs* (the registry error lists the registered
+/// names); at init time an unknown name may be a backend of the machine the
+/// spec ships to, so it only warns.
+void warn_unregistered_backends(const campaign::CampaignSpec& spec) {
+    std::vector<std::string> unknown;
+    if (!linalg::has_backend(spec.backend)) unknown.push_back(spec.backend);
+    for (const std::string& name : spec.variant_backends) {
+        if (!linalg::has_backend(name)) unknown.push_back(name);
+    }
+    if (unknown.empty()) return;
+    std::fprintf(stderr,
+                 "note: backend%s '%s' %s not registered in this build "
+                 "(registered: %s); shards must run on a build that has "
+                 "%s\n",
+                 unknown.size() > 1 ? "s" : "",
+                 str::join(unknown, "', '").c_str(),
+                 unknown.size() > 1 ? "are" : "is",
+                 str::join(linalg::backend_names(), ", ").c_str(),
+                 unknown.size() > 1 ? "them" : "it");
+}
+
+/// --cluster-diff old.csv,new.csv: compare performance-class memberships.
+int cluster_diff(const std::string& pair) {
+    const std::vector<std::string> paths = str::split(pair, ',');
+    if (paths.size() != 2 || str::trim(paths[0]).empty() ||
+        str::trim(paths[1]).empty()) {
+        std::fputs("error: --cluster-diff expects 'old.csv,new.csv'\n",
+                   stderr);
+        return 2;
+    }
+    const std::string old_path(str::trim(paths[0]));
+    const std::string new_path(str::trim(paths[1]));
+    const core::FinalClusters old_clusters =
+        core::read_final_clusters_csv(old_path);
+    const core::FinalClusters new_clusters =
+        core::read_final_clusters_csv(new_path);
+    const core::ClusterDiff diff =
+        core::diff_clusterings(old_clusters, new_clusters);
+    std::printf("cluster-diff: %s (%zu algorithms) vs %s (%zu algorithms)\n",
+                old_path.c_str(), old_clusters.algorithms.size(),
+                new_path.c_str(), new_clusters.algorithms.size());
+    std::fputs(core::render_cluster_diff(diff).c_str(), stdout);
+    return diff.identical() ? 0 : 1;
+}
 
 /// Renders the cluster + final tables and optionally writes the clustering
 /// CSV (shared tail of every analyzing mode).
@@ -77,9 +125,14 @@ int list_backends() {
 }
 
 int campaign_init(const std::string& path,
-                  const std::optional<std::string>& backend) {
+                  const std::optional<std::string>& backend,
+                  const std::optional<std::string>& variants) {
     campaign::CampaignSpec spec;
     if (backend) spec.backend = *backend;
+    if (variants) {
+        spec.variant_backends = str::parse_name_list(*variants, "--variants");
+    }
+    warn_unregistered_backends(spec);
     spec.save(path);
     std::printf("campaign spec written to %s\n\n", path.c_str());
     std::printf("next steps (K = any shard count, here 2):\n"
@@ -100,11 +153,16 @@ int campaign_shard(const campaign::CampaignSpec& spec, const std::string& ref_te
     const campaign::ShardResult shard =
         campaign::run_shard(spec, ref.index, ref.count);
     campaign::write_shard_csv(shard, *out_path);
+    const std::string backend_label =
+        spec.variant_backends.empty()
+            ? spec.backend
+            : spec.backend + ", per-task axis " +
+                  str::join(spec.variant_backends, "|");
     std::printf("campaign '%s' shard %zu/%zu: %zu algorithms x %zu "
                 "measurements -> %s (backend %s, spec hash %016llx)\n",
                 spec.name.c_str(), ref.index, ref.count,
                 shard.measurements.size(), spec.measurements,
-                out_path->c_str(), spec.backend.c_str(),
+                out_path->c_str(), backend_label.c_str(),
                 static_cast<unsigned long long>(shard.manifest.spec_hash));
     return 0;
 }
@@ -243,19 +301,32 @@ int main(int argc, char** argv) try {
     cli.add_option("workers", "worker threads for --run (0 = all cores)", "1");
     cli.add_option("merged-csv", "also write the merged measurements CSV here "
                                  "(--merge/--run modes)", "");
-    cli.add_option("backend", "linalg backend for campaign modes (overrides "
-                              "the spec's `backend`; see --list-backends)", "");
+    cli.add_option("backend", "chain-default linalg backend for campaign "
+                              "modes (overrides the spec's `backend`; see "
+                              "--list-backends)", "");
+    cli.add_option("variants", "per-task backend axis for campaign modes, "
+                               "comma-separated (overrides the spec's "
+                               "`variant_backends`; grows the plan to the "
+                               "(2B)^k placement x backend variants)", "");
     cli.add_flag("list-backends", "list the linalg backends of this build and "
                                   "exit");
+    cli.add_option("cluster-diff", "compare two clustering CSVs 'old.csv,"
+                                   "new.csv' by performance-class membership; "
+                                   "exits non-zero when membership changed",
+                   "");
     if (!cli.parse(argc, argv)) return 0;
 
     if (cli.flag("list-backends")) {
         return list_backends();
     }
+    if (const auto diff_pair = cli.value_optional("cluster-diff")) {
+        return cluster_diff(*diff_pair);
+    }
 
     const auto backend_override = cli.value_optional("backend");
+    const auto variants_override = cli.value_optional("variants");
     if (const auto init_path = cli.value_optional("campaign-init")) {
-        return campaign_init(*init_path, backend_override);
+        return campaign_init(*init_path, backend_override, variants_override);
     }
 
     const auto input = cli.value_optional("input");
@@ -265,8 +336,8 @@ int main(int argc, char** argv) try {
                    stderr);
         return 2;
     }
-    if (input && backend_override) {
-        std::fputs("error: --backend only applies to campaign modes "
+    if (input && (backend_override || variants_override)) {
+        std::fputs("error: --backend/--variants only apply to campaign modes "
                    "(--input CSVs were measured elsewhere)\n",
                    stderr);
         return 2;
@@ -275,9 +346,14 @@ int main(int argc, char** argv) try {
     if (campaign_path) {
         campaign::CampaignSpec spec =
             campaign::CampaignSpec::load(*campaign_path);
-        // The override changes the measurement plan (and so the spec hash):
-        // every shard and the merge must be invoked with the same --backend.
+        // The overrides change the measurement plan (and so the spec hash):
+        // every shard and the merge must be invoked with the same --backend
+        // and --variants.
         if (backend_override) spec.backend = *backend_override;
+        if (variants_override) {
+            spec.variant_backends =
+                str::parse_name_list(*variants_override, "--variants");
+        }
         const auto shard_ref = cli.value_optional("shard");
         const auto merge_pattern = cli.value_optional("merge");
         const int modes = (shard_ref ? 1 : 0) + (merge_pattern ? 1 : 0) +
