@@ -47,6 +47,16 @@ int main(int argc, char** argv) try {
     cli.add_option("variants", "per-task backend axis, comma-separated "
                                "(grows each campaign to the (2B)^k placement "
                                "x backend variants)", "");
+    cli.add_flag("adaptive", "measure incrementally, stopping algorithms "
+                             "whose class membership stabilized (--n is the "
+                             "per-algorithm cap)");
+    cli.add_option("min-n", "adaptive: measurements before any early stop "
+                            "(implies --adaptive; default 10)", "");
+    cli.add_option("batch", "adaptive: measurements added per round (implies "
+                            "--adaptive; default 5)", "");
+    cli.add_option("stability", "adaptive: consecutive stable clusterings "
+                                "before an algorithm stops (implies "
+                                "--adaptive; default 2)", "");
     bench::add_backend_options(cli);
     if (!cli.parse(argc, argv)) return 0;
     if (!bench::apply_backend_options(cli)) return 0;
@@ -63,6 +73,34 @@ int main(int argc, char** argv) try {
     if (const auto axis = cli.value_optional("variants")) {
         variant_backends = str::parse_name_list(*axis, "--variants");
     }
+
+    const auto min_n_opt = cli.value_optional("min-n");
+    const auto batch_opt = cli.value_optional("batch");
+    const auto stability_opt = cli.value_optional("stability");
+    const bool adaptive =
+        cli.flag("adaptive") || min_n_opt || batch_opt || stability_opt;
+    if (adaptive && cli.flag("verify")) {
+        // The stopping rule decides per shard, so sharded-vs-solo adaptive
+        // runs legitimately keep different counts; the bit-identity check
+        // only holds for fixed-N campaigns.
+        std::fputs("error: --verify checks bit-identity of the sharded path "
+                   "and only applies to fixed-N sweeps (drop --adaptive)\n",
+                   stderr);
+        return 2;
+    }
+    // Zero would silently fall back to the fixed-N path while still
+    // claiming an adaptive run in the report: reject it up front. Absent
+    // knobs take the engine's own defaults.
+    const core::AdaptiveConfig engine_defaults;
+    const std::size_t adaptive_min =
+        min_n_opt ? str::parse_positive_size(*min_n_opt, "--min-n")
+                  : engine_defaults.min_n;
+    const std::size_t adaptive_batch =
+        batch_opt ? str::parse_positive_size(*batch_opt, "--batch")
+                  : engine_defaults.batch;
+    const std::size_t adaptive_stability =
+        stability_opt ? str::parse_positive_size(*stability_opt, "--stability")
+                      : engine_defaults.stability_rounds;
     // The measured algorithm list (identical across platforms): plain
     // placements, or placement x backend variants when an axis was given.
     std::vector<workloads::VariantAssignment> variants;
@@ -91,6 +129,11 @@ int main(int argc, char** argv) try {
             spec.backend = *backend; // recorded in the plan (and its hash)
         }
         spec.variant_backends = variant_backends;
+        if (adaptive) {
+            spec.adaptive_min = adaptive_min;
+            spec.adaptive_batch = adaptive_batch;
+            spec.adaptive_stability = adaptive_stability;
+        }
         spec.shards = shards;
         spec.clustering_repetitions = config.clustering.repetitions;
         spec.clustering_seed = config.clustering.seed;
@@ -144,6 +187,17 @@ int main(int argc, char** argv) try {
                 campaign::platform_preset_names().size(), shards,
                 workers == 0 ? "all" : std::to_string(workers).c_str(),
                 str::human_seconds(measure_seconds).c_str());
+    if (adaptive) {
+        std::size_t total = 0;
+        std::size_t fixed = 0;
+        for (const core::AnalysisResult& result : results) {
+            total += result.measurements.total_samples();
+            fixed += result.measurements.size() * n;
+        }
+        std::printf("adaptive (min %zu, batch %zu, stability %zu): %s\n",
+                    adaptive_min, adaptive_batch, adaptive_stability,
+                    core::render_savings(total, fixed).c_str());
+    }
 
     if (const auto csv_path = cli.value_optional("csv")) {
         support::CsvWriter csv(*csv_path, {"platform", "algorithm",

@@ -43,6 +43,27 @@ core::MeasurementSet merge_shards(const CampaignSpec& spec,
                 m.shard_index, describe(m.variant_backends).c_str(),
                 describe(spec.variant_backends).c_str()));
         }
+        if (m.adaptive_min != spec.adaptive_min ||
+            (spec.adaptive() && (m.adaptive_batch != spec.adaptive_batch ||
+                                 m.adaptive_stability != spec.adaptive_stability))) {
+            const auto describe = [](std::size_t min, std::size_t batch,
+                                     std::size_t stability) {
+                return min == 0 ? std::string("fixed-N")
+                                : str::format("adaptive min=%zu batch=%zu "
+                                              "stability=%zu",
+                                              min, batch, stability);
+            };
+            throw Error(str::format(
+                "merge_shards: shard %zu was measured under a %s plan, this "
+                "spec demands %s — the per-algorithm sample counts differ, "
+                "refusing to merge",
+                m.shard_index,
+                describe(m.adaptive_min, m.adaptive_batch, m.adaptive_stability)
+                    .c_str(),
+                describe(spec.adaptive_min, spec.adaptive_batch,
+                         spec.adaptive_stability)
+                    .c_str()));
+        }
         if (m.spec_hash != expected_hash) {
             throw Error(str::format(
                 "merge_shards: shard %zu was measured under a different plan "
@@ -100,11 +121,29 @@ core::MeasurementSet merge_shards(const CampaignSpec& spec,
             }
             const std::size_t samples =
                 set.samples(set.index_of(name)).size();
-            if (samples != spec.measurements) {
-                throw Error(str::format(
-                    "merge_shards: shard %zu has %zu measurements of %s, "
-                    "spec demands N = %zu",
-                    i, samples, name.c_str(), spec.measurements));
+            if (!spec.adaptive()) {
+                if (samples != spec.measurements) {
+                    throw Error(str::format(
+                        "merge_shards: shard %zu has %zu measurements of %s, "
+                        "spec demands N = %zu",
+                        i, samples, name.c_str(), spec.measurements));
+                }
+            } else {
+                // Adaptive counts are min + k*batch, clamped at the cap: any
+                // other count cannot have come from the engine's rounds.
+                const bool reachable =
+                    samples >= spec.adaptive_min &&
+                    samples <= spec.measurements &&
+                    (samples == spec.measurements ||
+                     (samples - spec.adaptive_min) % spec.adaptive_batch == 0);
+                if (!reachable) {
+                    throw Error(str::format(
+                        "merge_shards: shard %zu has %zu measurements of %s, "
+                        "not reachable by the adaptive plan (min %zu, batch "
+                        "%zu, cap %zu)",
+                        i, samples, name.c_str(), spec.adaptive_min,
+                        spec.adaptive_batch, spec.measurements));
+                }
             }
         }
     }
@@ -127,8 +166,12 @@ core::AnalysisResult run_campaign(const CampaignSpec& spec,
     const LocalShardRunner runner(workers);
     const std::vector<ShardResult> shards = runner.run(spec, shard_count);
     core::MeasurementSet merged = merge_shards(spec, shards);
-    return core::analyze_measurements(std::move(merged),
-                                      spec.analysis_config());
+    core::AnalysisResult result = core::analyze_measurements(
+        std::move(merged), spec.analysis_config());
+    // analyze_measurements cannot know the plan's cap; restore the true
+    // fixed-N cost so result.saved quantities reflect the adaptive savings.
+    result.fixed_n_samples = result.measurements.size() * spec.measurements;
+    return result;
 }
 
 } // namespace relperf::campaign

@@ -22,43 +22,50 @@ std::size_t effective_shard_count(const CampaignSpec& spec,
     return shard_count == 0 ? spec.shards : shard_count;
 }
 
-/// Measures the variants of `plan` with the spec's executor. Each variant
-/// runs on the stream derived from its global index, making the result
-/// identical to the corresponding slice of the unsharded pipeline.
+/// Measures the variants of `plan` with the spec's executor through the one
+/// generic engine-backed path. Each variant draws from the stream derived
+/// from its *global* index, so a fixed-N shard is identical to the
+/// corresponding slice of the unsharded pipeline, and an adaptive shard's
+/// samples are a deterministic prefix of that slice. Adaptive stopping
+/// clusters the shard's own algorithms (shard-local decisions).
 core::MeasurementSet measure_plan(const CampaignSpec& spec,
                                   const ShardPlan& plan) {
     const workloads::TaskChain chain = spec.chain();
-    const std::vector<workloads::VariantAssignment> variants = spec.variants();
+    const std::vector<workloads::VariantAssignment> all = spec.variants();
+    std::vector<workloads::VariantAssignment> mine;
+    mine.reserve(plan.assignment_indices.size());
+    for (const std::size_t index : plan.assignment_indices) {
+        mine.push_back(all[index]);
+    }
+    const core::StreamFactory streams = [&spec, &plan](std::size_t local) {
+        return stats::Rng(core::assignment_stream_seed(
+            spec.measurement_seed, plan.assignment_indices[local]));
+    };
 
-    core::MeasurementSet set;
-    const auto stream_for = [&](std::size_t global_index) {
-        return stats::Rng(
-            core::assignment_stream_seed(spec.measurement_seed, global_index));
+    const auto run_source = [&](core::SampleSource& source) {
+        if (!spec.adaptive()) {
+            return core::measure_all(source, spec.measurements);
+        }
+        const core::AnalysisConfig analysis = spec.analysis_config();
+        const core::MeasurementEngine engine(
+            spec.adaptive_config(), analysis.comparator, analysis.clustering);
+        return std::move(engine.run(source).measurements);
     };
 
     if (spec.executor == ExecutorKind::Sim) {
         const sim::AnalyticCostModel model(platform_preset(spec.platform));
         const sim::SimulatedExecutor executor(model, sim::NoiseModel{});
-        for (const std::size_t index : plan.assignment_indices) {
-            stats::Rng stream = stream_for(index);
-            set.add(variants[index].alg_name(),
-                    executor.measure(chain, variants[index],
-                                     spec.measurements, stream));
-        }
-    } else {
-        const sim::EmulatedDevice device{spec.device_threads, 0.0, 0.0};
-        const sim::EmulatedDevice accelerator{spec.accelerator_threads,
-                                              spec.dispatch_delay_us * 1e-6,
-                                              spec.switch_delay_us * 1e-6};
-        const sim::RealExecutor executor(device, accelerator);
-        for (const std::size_t index : plan.assignment_indices) {
-            stats::Rng stream = stream_for(index);
-            set.add(variants[index].alg_name(),
-                    executor.measure(chain, variants[index],
-                                     spec.measurements, stream, spec.warmup));
-        }
+        core::SimSampleSource source(executor, chain, std::move(mine), streams);
+        return run_source(source);
     }
-    return set;
+    const sim::EmulatedDevice device{spec.device_threads, 0.0, 0.0};
+    const sim::EmulatedDevice accelerator{spec.accelerator_threads,
+                                          spec.dispatch_delay_us * 1e-6,
+                                          spec.switch_delay_us * 1e-6};
+    const sim::RealExecutor executor(device, accelerator);
+    core::RealSampleSource source(executor, chain, std::move(mine), streams,
+                                  spec.warmup);
+    return run_source(source);
 }
 
 } // namespace
@@ -84,7 +91,20 @@ ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
     result.manifest.host = host_name();
     result.manifest.backend = spec.backend;
     result.manifest.variant_backends = spec.variant_backends;
+    if (spec.adaptive()) {
+        result.manifest.adaptive_min = spec.adaptive_min;
+        result.manifest.adaptive_batch = spec.adaptive_batch;
+        result.manifest.adaptive_stability = spec.adaptive_stability;
+    }
     result.measurements = measure_plan(spec, sharder.plan(shard_index));
+    if (spec.adaptive()) {
+        result.manifest.samples_per_algorithm.reserve(
+            result.measurements.size());
+        for (std::size_t i = 0; i < result.measurements.size(); ++i) {
+            result.manifest.samples_per_algorithm.push_back(
+                result.measurements.samples(i).size());
+        }
+    }
     return result;
 }
 

@@ -33,6 +33,23 @@ std::string host_name() {
 void write_shard_csv(const ShardResult& shard, const std::string& path) {
     RELPERF_REQUIRE(!shard.measurements.empty(),
                     "write_shard_csv: shard has no measurements");
+    // A manifest whose declared per-algorithm counts disagree with the
+    // measurements would persist a lie — reject it before touching the
+    // file, mirroring the read-side truncation check.
+    if (!shard.manifest.samples_per_algorithm.empty()) {
+        RELPERF_REQUIRE(shard.manifest.samples_per_algorithm.size() ==
+                            shard.measurements.size(),
+                        "write_shard_csv: manifest declares a different "
+                        "number of per-algorithm counts than the shard holds "
+                        "algorithms");
+        for (std::size_t i = 0; i < shard.measurements.size(); ++i) {
+            RELPERF_REQUIRE(shard.manifest.samples_per_algorithm[i] ==
+                                shard.measurements.samples(i).size(),
+                            "write_shard_csv: manifest sample count for '" +
+                                shard.measurements.name(i) +
+                                "' disagrees with its measurement rows");
+        }
+    }
     std::ofstream out(path);
     if (!out) {
         throw Error("write_shard_csv: cannot open '" + path + "'");
@@ -53,6 +70,25 @@ void write_shard_csv(const ShardResult& shard, const std::string& path) {
     if (!m.variant_backends.empty()) {
         out << "# variant_backends = " << str::join(m.variant_backends, ",")
             << '\n';
+    }
+    // Only written for adaptive campaigns: fixed-N files keep the exact
+    // pre-adaptive form. The per-algorithm counts declare what early
+    // stopping decided, so a merge can validate the rows against them.
+    if (m.adaptive_min != 0) {
+        out << "# adaptive_min_measurements = " << m.adaptive_min << '\n';
+        out << "# adaptive_batch = " << m.adaptive_batch << '\n';
+        out << "# adaptive_stability_rounds = " << m.adaptive_stability << '\n';
+        // The declared counts (validated above) when the caller set them,
+        // else derived from the rows — one source of truth either way.
+        std::vector<std::string> counts;
+        counts.reserve(shard.measurements.size());
+        for (std::size_t i = 0; i < shard.measurements.size(); ++i) {
+            counts.push_back(std::to_string(
+                m.samples_per_algorithm.empty()
+                    ? shard.measurements.samples(i).size()
+                    : m.samples_per_algorithm[i]));
+        }
+        out << "# samples_per_algorithm = " << str::join(counts, ",") << '\n';
     }
     out << "algorithm,measurement_index,seconds\n";
     for (std::size_t i = 0; i < shard.measurements.size(); ++i) {
@@ -117,6 +153,19 @@ ShardResult read_shard_csv(const std::string& path) {
             } else if (key == "variant_backends") {
                 out.manifest.variant_backends =
                     str::parse_name_list(value, key);
+            } else if (key == "adaptive_min_measurements") {
+                // Zero-rejecting, like CampaignSpec::parse: an explicit 0
+                // would silently read back as a fixed-N manifest.
+                out.manifest.adaptive_min = str::parse_positive_size(value, key);
+            } else if (key == "adaptive_batch") {
+                out.manifest.adaptive_batch =
+                    str::parse_positive_size(value, key);
+            } else if (key == "adaptive_stability_rounds") {
+                out.manifest.adaptive_stability =
+                    str::parse_positive_size(value, key);
+            } else if (key == "samples_per_algorithm") {
+                out.manifest.samples_per_algorithm =
+                    str::parse_size_list(value, key);
             }
             // Unknown keys are ignored: forward compatibility for future
             // manifest fields.
@@ -140,6 +189,29 @@ ShardResult read_shard_csv(const std::string& path) {
 
     // The measurement rows (comments are skipped by the core parser).
     out.measurements = core::parse_measurements_csv(content, path);
+
+    // An adaptive manifest declares its per-algorithm counts; the rows must
+    // agree, or the file was truncated or edited after the shard ran.
+    const std::vector<std::size_t>& declared =
+        out.manifest.samples_per_algorithm;
+    if (!declared.empty()) {
+        if (declared.size() != out.measurements.size()) {
+            throw Error(str::format(
+                "%s: manifest declares %zu per-algorithm sample counts but "
+                "the file holds %zu algorithms",
+                path.c_str(), declared.size(), out.measurements.size()));
+        }
+        for (std::size_t i = 0; i < declared.size(); ++i) {
+            const std::size_t rows = out.measurements.samples(i).size();
+            if (rows != declared[i]) {
+                throw Error(str::format(
+                    "%s: algorithm %s has %zu measurement rows, manifest "
+                    "declares %zu — the file is truncated or was edited",
+                    path.c_str(), out.measurements.name(i).c_str(), rows,
+                    declared[i]));
+            }
+        }
+    }
     return out;
 }
 

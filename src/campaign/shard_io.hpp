@@ -43,6 +43,16 @@ struct ShardManifest {
     /// for plain-placement campaigns and for files from before the variant
     /// axis. Checked against the spec by merge_shards like `backend`.
     std::vector<std::string> variant_backends;
+    /// Adaptive plan of the shard (0 = fixed-N, the pre-adaptive file form).
+    /// Checked against the spec by merge_shards like `backend`.
+    std::size_t adaptive_min = 0;       ///< `# adaptive_min_measurements`.
+    std::size_t adaptive_batch = 0;     ///< `# adaptive_batch`.
+    std::size_t adaptive_stability = 0; ///< `# adaptive_stability_rounds`.
+    /// Per-algorithm sample counts in CSV order (`# samples_per_algorithm =
+    /// 10,15,30`). Written only by adaptive shards — fixed-N counts are
+    /// implied by the plan — and cross-checked against the CSV rows on read,
+    /// so a truncated or hand-edited file dies before it reaches a merge.
+    std::vector<std::size_t> samples_per_algorithm;
 };
 
 /// One shard's manifest plus its measured distributions (the algorithms of

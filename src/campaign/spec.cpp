@@ -72,6 +72,15 @@ void CampaignSpec::validate() const {
     }
     RELPERF_REQUIRE(measurements > 0,
                     "campaign: measurements (N) must be positive");
+    if (adaptive_min != 0) {
+        RELPERF_REQUIRE(adaptive_min <= measurements,
+                        "campaign: adaptive_min_measurements must be <= "
+                        "measurements (the adaptive cap)");
+        RELPERF_REQUIRE(adaptive_batch > 0,
+                        "campaign: adaptive_batch must be positive");
+        RELPERF_REQUIRE(adaptive_stability > 0,
+                        "campaign: adaptive_stability_rounds must be positive");
+    }
     RELPERF_REQUIRE(shards > 0, "campaign: shards (K) must be positive");
     RELPERF_REQUIRE(device_threads >= 0 && accelerator_threads >= 0,
                     "campaign: thread counts must be non-negative");
@@ -117,6 +126,13 @@ std::string CampaignSpec::to_text() const {
     }
     out << "measurements = " << measurements << '\n';
     out << "measurement_seed = " << measurement_seed << '\n';
+    // Only emitted when adaptive measurement is on: fixed-N specs keep their
+    // pre-adaptive text (and therefore byte-identical spec files).
+    if (adaptive_min != 0) {
+        out << "adaptive_min_measurements = " << adaptive_min << '\n';
+        out << "adaptive_batch = " << adaptive_batch << '\n';
+        out << "adaptive_stability_rounds = " << adaptive_stability << '\n';
+    }
     out << "device_threads = " << device_threads << '\n';
     out << "accelerator_threads = " << accelerator_threads << '\n';
     out << "dispatch_delay_us = " << str::format("%.12g", dispatch_delay_us)
@@ -184,6 +200,15 @@ CampaignSpec CampaignSpec::parse(const std::string& text,
                 spec.measurements = str::parse_size(value, key);
             } else if (key == "measurement_seed") {
                 spec.measurement_seed = str::parse_u64(value, key);
+            } else if (key == "adaptive_min_measurements") {
+                // An explicit 0 would silently mean "fixed-N" and drop the
+                // other adaptive keys on the next round trip: omitting the
+                // key is how a spec says adaptive-off.
+                spec.adaptive_min = str::parse_positive_size(value, key);
+            } else if (key == "adaptive_batch") {
+                spec.adaptive_batch = str::parse_positive_size(value, key);
+            } else if (key == "adaptive_stability_rounds") {
+                spec.adaptive_stability = str::parse_positive_size(value, key);
             } else if (key == "device_threads") {
                 spec.device_threads = static_cast<int>(str::parse_size(value, key));
             } else if (key == "accelerator_threads") {
@@ -217,6 +242,18 @@ CampaignSpec CampaignSpec::parse(const std::string& text,
         if (!known) fail("unknown key '" + key + "'");
     }
 
+    // Inert adaptive knobs are almost certainly a typo'd plan: batch and
+    // stability do nothing without adaptive_min_measurements, and to_text()
+    // would silently drop them on the next round trip.
+    if (!seen.count("adaptive_min_measurements")) {
+        for (const char* knob : {"adaptive_batch", "adaptive_stability_rounds"}) {
+            if (seen.count(knob)) {
+                throw Error(source + ": invalid campaign spec: '" +
+                            std::string(knob) +
+                            "' requires 'adaptive_min_measurements'");
+            }
+        }
+    }
     try {
         spec.validate();
     } catch (const Error& e) {
@@ -272,6 +309,21 @@ std::uint64_t CampaignSpec::hash() const {
     if (!variant_backends.empty()) {
         plan << ";variant_backends=" << str::join(variant_backends, ",");
     }
+    // Adaptive plans measure data-dependent per-algorithm counts, and the
+    // stopping rule consults the clusterer — so the adaptive knobs AND the
+    // analysis knobs become measurement-determining. Fixed-N specs
+    // contribute nothing here, keeping every pre-adaptive hash stable.
+    if (adaptive_min != 0) {
+        plan << ";adaptive_min=" << adaptive_min
+             << ";adaptive_batch=" << adaptive_batch
+             << ";adaptive_stability=" << adaptive_stability
+             << ";clustering_repetitions=" << clustering_repetitions
+             << ";clustering_seed=" << clustering_seed
+             << ";bootstrap_rounds=" << bootstrap_rounds
+             << ";tie_epsilon=" << str::format("%.12g", tie_epsilon)
+             << ";decision_threshold="
+             << str::format("%.12g", decision_threshold);
+    }
 
     // FNV-1a 64-bit.
     std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -301,6 +353,17 @@ std::vector<workloads::VariantAssignment> CampaignSpec::variants() const {
     return out;
 }
 
+core::AdaptiveConfig CampaignSpec::adaptive_config() const {
+    RELPERF_REQUIRE(adaptive(),
+                    "campaign: adaptive_config() on a fixed-N spec");
+    core::AdaptiveConfig config;
+    config.min_n = adaptive_min;
+    config.max_n = measurements;
+    config.batch = adaptive_batch;
+    config.stability_rounds = adaptive_stability;
+    return config;
+}
+
 core::AnalysisConfig CampaignSpec::analysis_config() const {
     core::AnalysisConfig config;
     config.measurements_per_alg = measurements;
@@ -310,6 +373,7 @@ core::AnalysisConfig CampaignSpec::analysis_config() const {
     config.comparator.decision_threshold = decision_threshold;
     config.clustering.repetitions = clustering_repetitions;
     config.clustering.seed = clustering_seed;
+    if (adaptive()) config.adaptive = adaptive_config();
     return config;
 }
 

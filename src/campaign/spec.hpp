@@ -56,6 +56,24 @@ struct CampaignSpec {
     /// override the chain default task by task.
     std::vector<std::string> variant_backends;
 
+    // Adaptive measurement (core/measurement_engine.hpp). adaptive_min = 0
+    // (the default) keeps the classic fixed-N plan. A positive adaptive_min
+    // measures every algorithm adaptive_min samples first and then extends
+    // in adaptive_batch steps up to `measurements`, stopping an algorithm
+    // once its performance-class membership was unchanged for
+    // adaptive_stability consecutive clusterings. Stopping decisions are
+    // *shard-local* (each shard clusters the algorithms it owns), so a
+    // sharded adaptive campaign is deterministic per split but may measure
+    // different counts than the unsharded run; the sample *values* are
+    // prefix-identical in every case. The three keys enter the spec text and
+    // hash() only when adaptive is on, so fixed-N specs keep their exact
+    // bytes and plan hashes. Because the stopping rule consults the
+    // clusterer, the analysis knobs become measurement-determining for
+    // adaptive specs and join the hash as well.
+    std::size_t adaptive_min = 0;       ///< Min N (0 = adaptive off).
+    std::size_t adaptive_batch = 5;     ///< Samples added per round.
+    std::size_t adaptive_stability = 2; ///< Stable clusterings before stop.
+
     // Real-executor emulation knobs (paper footnote 2), ignored for Sim.
     int device_threads = 1;        ///< OpenMP team of the emulated Device.
     int accelerator_threads = 0;   ///< 0 = all hardware threads.
@@ -112,7 +130,15 @@ struct CampaignSpec {
     /// indices the sharder partitions and the merge stitches back.
     [[nodiscard]] std::vector<workloads::VariantAssignment> variants() const;
 
-    /// Analysis configuration carrying the spec's knobs.
+    /// True when the adaptive engine drives measurement (adaptive_min > 0).
+    [[nodiscard]] bool adaptive() const noexcept { return adaptive_min != 0; }
+
+    /// The engine knobs of an adaptive spec: min = adaptive_min,
+    /// max = measurements. Throws when adaptive() is false.
+    [[nodiscard]] core::AdaptiveConfig adaptive_config() const;
+
+    /// Analysis configuration carrying the spec's knobs (including the
+    /// adaptive engine config when adaptive() is on).
     [[nodiscard]] core::AnalysisConfig analysis_config() const;
 };
 

@@ -4,15 +4,34 @@
 
 namespace relperf::core {
 
+namespace {
+
+void require_valid_samples(std::span<const double> samples, const char* who) {
+    RELPERF_REQUIRE(!samples.empty(),
+                    std::string(who) + ": samples must be non-empty");
+    for (const double s : samples) {
+        RELPERF_REQUIRE(s >= 0.0,
+                        std::string(who) + ": measurements must be non-negative");
+    }
+}
+
+} // namespace
+
 std::size_t MeasurementSet::add(std::string name, std::vector<double> samples) {
     RELPERF_REQUIRE(!name.empty(), "MeasurementSet: algorithm name must be non-empty");
-    RELPERF_REQUIRE(!samples.empty(), "MeasurementSet: samples must be non-empty");
+    require_valid_samples(samples, "MeasurementSet");
     RELPERF_REQUIRE(!contains(name), "MeasurementSet: duplicate algorithm '" + name + "'");
-    for (const double s : samples) {
-        RELPERF_REQUIRE(s >= 0.0, "MeasurementSet: measurements must be non-negative");
-    }
     algorithms_.push_back(AlgorithmMeasurements{std::move(name), std::move(samples)});
+    index_by_name_.emplace(algorithms_.back().name, algorithms_.size() - 1);
     return algorithms_.size() - 1;
+}
+
+void MeasurementSet::extend(std::size_t index, std::span<const double> samples) {
+    RELPERF_REQUIRE(index < algorithms_.size(),
+                    "MeasurementSet::extend: index out of range");
+    require_valid_samples(samples, "MeasurementSet::extend");
+    std::vector<double>& existing = algorithms_[index].samples;
+    existing.insert(existing.end(), samples.begin(), samples.end());
 }
 
 const AlgorithmMeasurements& MeasurementSet::at(std::size_t index) const {
@@ -29,17 +48,15 @@ const std::string& MeasurementSet::name(std::size_t index) const {
 }
 
 std::size_t MeasurementSet::index_of(const std::string& name) const {
-    for (std::size_t i = 0; i < algorithms_.size(); ++i) {
-        if (algorithms_[i].name == name) return i;
+    const auto it = index_by_name_.find(name);
+    if (it == index_by_name_.end()) {
+        throw InvalidArgument("MeasurementSet: unknown algorithm '" + name + "'");
     }
-    throw InvalidArgument("MeasurementSet: unknown algorithm '" + name + "'");
+    return it->second;
 }
 
 bool MeasurementSet::contains(const std::string& name) const noexcept {
-    for (const AlgorithmMeasurements& alg : algorithms_) {
-        if (alg.name == name) return true;
-    }
-    return false;
+    return index_by_name_.find(name) != index_by_name_.end();
 }
 
 std::vector<std::string> MeasurementSet::names() const {
@@ -51,6 +68,14 @@ std::vector<std::string> MeasurementSet::names() const {
 
 stats::Summary MeasurementSet::summary(std::size_t index) const {
     return stats::summarize(samples(index));
+}
+
+std::size_t MeasurementSet::total_samples() const noexcept {
+    std::size_t total = 0;
+    for (const AlgorithmMeasurements& alg : algorithms_) {
+        total += alg.samples.size();
+    }
+    return total;
 }
 
 } // namespace relperf::core

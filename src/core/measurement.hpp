@@ -1,12 +1,16 @@
 #pragma once
 //! \file measurement.hpp
-//! Containers for the N repeated measurements of each algorithm — the input
-//! of the relative-performance analysis.
+//! Containers for the repeated measurements of each algorithm — the input
+//! of the relative-performance analysis. Samples are appendable per
+//! algorithm (extend), so the adaptive measurement engine can grow an
+//! algorithm's distribution round by round; with per-algorithm RNG streams
+//! the grown sample is a deterministic prefix-extension of the fixed-N one.
 
 #include "stats/descriptive.hpp"
 
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace relperf::core {
@@ -28,6 +32,11 @@ public:
     /// Returns the algorithm's index.
     std::size_t add(std::string name, std::vector<double> samples);
 
+    /// Appends further samples to the algorithm at `index` (the adaptive
+    /// engine's per-round extension). Samples must be non-empty and
+    /// non-negative, like add()'s.
+    void extend(std::size_t index, std::span<const double> samples);
+
     [[nodiscard]] std::size_t size() const noexcept { return algorithms_.size(); }
     [[nodiscard]] bool empty() const noexcept { return algorithms_.empty(); }
 
@@ -35,7 +44,9 @@ public:
     [[nodiscard]] std::span<const double> samples(std::size_t index) const;
     [[nodiscard]] const std::string& name(std::size_t index) const;
 
-    /// Index of the algorithm called `name`; throws if absent.
+    /// Index of the algorithm called `name`; throws if absent. O(1): backed
+    /// by a name -> index map (the merge path calls this once per algorithm
+    /// over campaigns of up to 65536 algorithms).
     [[nodiscard]] std::size_t index_of(const std::string& name) const;
     [[nodiscard]] bool contains(const std::string& name) const noexcept;
 
@@ -44,8 +55,12 @@ public:
     /// Summary statistics of one algorithm's sample.
     [[nodiscard]] stats::Summary summary(std::size_t index) const;
 
+    /// Total number of samples across all algorithms.
+    [[nodiscard]] std::size_t total_samples() const noexcept;
+
 private:
     std::vector<AlgorithmMeasurements> algorithms_;
+    std::unordered_map<std::string, std::size_t> index_by_name_;
 };
 
 } // namespace relperf::core

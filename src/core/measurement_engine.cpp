@@ -1,0 +1,169 @@
+#include "core/measurement_engine.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace relperf::core {
+
+void AdaptiveConfig::validate() const {
+    RELPERF_REQUIRE(min_n > 0, "AdaptiveConfig: min_n must be positive");
+    RELPERF_REQUIRE(max_n >= min_n,
+                    "AdaptiveConfig: max_n must be >= min_n");
+    RELPERF_REQUIRE(batch > 0, "AdaptiveConfig: batch must be positive");
+    RELPERF_REQUIRE(stability_rounds > 0,
+                    "AdaptiveConfig: stability_rounds must be positive");
+}
+
+VariantSampleSource::VariantSampleSource(
+    workloads::TaskChain chain,
+    std::vector<workloads::VariantAssignment> variants, StreamFactory streams)
+    : chain_(std::move(chain)),
+      variants_(std::move(variants)),
+      streams_(std::move(streams)),
+      open_(variants_.size()) {
+    RELPERF_REQUIRE(streams_ != nullptr,
+                    "VariantSampleSource: stream factory must be callable");
+}
+
+std::string VariantSampleSource::name(std::size_t index) const {
+    RELPERF_REQUIRE(index < variants_.size(),
+                    "VariantSampleSource: index out of range");
+    return variants_[index].alg_name();
+}
+
+stats::Rng& VariantSampleSource::stream(std::size_t index) {
+    RELPERF_REQUIRE(index < open_.size(),
+                    "VariantSampleSource: index out of range");
+    if (!open_[index]) open_[index] = streams_(index);
+    return *open_[index];
+}
+
+SimSampleSource::SimSampleSource(
+    const sim::SimulatedExecutor& executor, workloads::TaskChain chain,
+    std::vector<workloads::VariantAssignment> variants, StreamFactory streams)
+    : VariantSampleSource(std::move(chain), std::move(variants),
+                          std::move(streams)),
+      executor_(executor) {}
+
+std::vector<double> SimSampleSource::draw(std::size_t index, std::size_t n) {
+    return executor_.measure(chain_, variants_[index], n, stream(index));
+}
+
+RealSampleSource::RealSampleSource(
+    const sim::RealExecutor& executor, workloads::TaskChain chain,
+    std::vector<workloads::VariantAssignment> variants, StreamFactory streams,
+    std::size_t warmup)
+    : VariantSampleSource(std::move(chain), std::move(variants),
+                          std::move(streams)),
+      executor_(executor),
+      warmup_(warmup) {}
+
+std::vector<double> RealSampleSource::draw(std::size_t index, std::size_t n) {
+    // Warmup before every draw: between adaptive rounds the other active
+    // algorithms ran and evicted this one's caches/codepaths, so extension
+    // samples need the same heating as first samples. RealExecutor::measure
+    // runs warmups on a hoisted stream, so the measured sequence is
+    // warmup-count-invariant either way.
+    return executor_.measure(chain_, variants_[index], n, stream(index),
+                             warmup_);
+}
+
+MeasurementSet measure_all(SampleSource& source, std::size_t n) {
+    RELPERF_REQUIRE(source.count() > 0, "measure_all: empty sample source");
+    RELPERF_REQUIRE(n > 0, "measure_all: need at least one measurement");
+    MeasurementSet set;
+    for (std::size_t i = 0; i < source.count(); ++i) {
+        set.add(source.name(i), source.draw(i, n));
+    }
+    return set;
+}
+
+std::string render_savings(std::size_t total_samples,
+                           std::size_t fixed_n_samples) {
+    const std::size_t saved =
+        fixed_n_samples > total_samples ? fixed_n_samples - total_samples : 0;
+    const double percent =
+        fixed_n_samples == 0 ? 0.0
+                             : 100.0 * static_cast<double>(saved) /
+                                   static_cast<double>(fixed_n_samples);
+    return str::format("measured %zu of %zu fixed-N samples, saved %zu "
+                       "(%.1f%%)",
+                       total_samples, fixed_n_samples, saved, percent);
+}
+
+MeasurementEngine::MeasurementEngine(AdaptiveConfig adaptive,
+                                     BootstrapComparatorConfig comparator,
+                                     ClustererConfig clustering)
+    : adaptive_(adaptive), comparator_(comparator), clustering_(clustering) {
+    adaptive_.validate();
+    comparator_.validate();
+    clustering_.validate();
+}
+
+EngineResult MeasurementEngine::run(SampleSource& source) const {
+    const std::size_t count = source.count();
+    EngineResult out;
+    out.fixed_n_samples = count * adaptive_.max_n;
+    out.measurements = measure_all(source, adaptive_.min_n);
+    out.samples_per_alg.assign(count, adaptive_.min_n);
+    out.rounds = 1;
+
+    const BootstrapComparator comparator(comparator_);
+    const RelativeClusterer clusterer(comparator, clustering_);
+
+    std::vector<std::size_t> stable(count, 0);
+    std::vector<bool> stopped(count, false);
+    std::vector<int> previous_rank;
+    while (true) {
+        Clustering clustering = clusterer.cluster(out.measurements);
+        std::vector<int> rank(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            rank[i] = clustering.final_rank(i);
+        }
+        if (!previous_rank.empty()) {
+            for (std::size_t i = 0; i < count; ++i) {
+                if (rank[i] == previous_rank[i]) {
+                    ++stable[i];
+                } else {
+                    stable[i] = 0;
+                }
+            }
+        }
+        previous_rank = std::move(rank);
+
+        std::vector<std::size_t> extend;
+        for (std::size_t i = 0; i < count; ++i) {
+            if (stopped[i]) continue;
+            if (out.samples_per_alg[i] >= adaptive_.max_n ||
+                stable[i] >= adaptive_.stability_rounds) {
+                stopped[i] = true;
+                continue;
+            }
+            extend.push_back(i);
+        }
+        if (extend.empty()) {
+            // The clustering of the final measurements — exactly what
+            // analyze_measurements would compute on them.
+            out.clustering = std::move(clustering);
+            break;
+        }
+        for (const std::size_t i : extend) {
+            const std::size_t n =
+                std::min(adaptive_.batch, adaptive_.max_n - out.samples_per_alg[i]);
+            const std::vector<double> fresh = source.draw(i, n);
+            out.measurements.extend(i, fresh);
+            out.samples_per_alg[i] += fresh.size();
+        }
+        ++out.rounds;
+    }
+
+    out.total_samples = std::accumulate(out.samples_per_alg.begin(),
+                                        out.samples_per_alg.end(),
+                                        std::size_t{0});
+    return out;
+}
+
+} // namespace relperf::core

@@ -4,6 +4,27 @@
 
 namespace relperf::core {
 
+namespace {
+
+std::vector<workloads::VariantAssignment> to_variants(
+    const std::vector<workloads::DeviceAssignment>& assignments) {
+    std::vector<workloads::VariantAssignment> out;
+    out.reserve(assignments.size());
+    for (const workloads::DeviceAssignment& assignment : assignments) {
+        out.emplace_back(assignment);
+    }
+    return out;
+}
+
+/// The legacy per-assignment stream derivation: position i measures on
+/// rng.child(i) (a pure function of the master rng's construction seed, see
+/// assignment_stream_seed).
+StreamFactory child_streams(const stats::Rng& rng) {
+    return [&rng](std::size_t index) { return rng.child(index); };
+}
+
+} // namespace
+
 std::uint64_t assignment_stream_seed(std::uint64_t master_seed,
                                      std::size_t index) noexcept {
     return stats::Rng(master_seed).child(index).seed();
@@ -14,13 +35,9 @@ MeasurementSet measure_assignments(
     const std::vector<workloads::DeviceAssignment>& assignments, std::size_t n,
     stats::Rng& rng) {
     RELPERF_REQUIRE(!assignments.empty(), "measure_assignments: no assignments");
-    MeasurementSet set;
-    for (std::size_t i = 0; i < assignments.size(); ++i) {
-        stats::Rng stream = rng.child(i);
-        set.add(assignments[i].alg_name(),
-                executor.measure(chain, assignments[i], n, stream));
-    }
-    return set;
+    SimSampleSource source(executor, chain, to_variants(assignments),
+                           child_streams(rng));
+    return measure_all(source, n);
 }
 
 MeasurementSet measure_assignments_real(
@@ -28,13 +45,9 @@ MeasurementSet measure_assignments_real(
     const std::vector<workloads::DeviceAssignment>& assignments, std::size_t n,
     stats::Rng& rng, std::size_t warmup) {
     RELPERF_REQUIRE(!assignments.empty(), "measure_assignments_real: no assignments");
-    MeasurementSet set;
-    for (std::size_t i = 0; i < assignments.size(); ++i) {
-        stats::Rng stream = rng.child(i);
-        set.add(assignments[i].alg_name(),
-                executor.measure(chain, assignments[i], n, stream, warmup));
-    }
-    return set;
+    RealSampleSource source(executor, chain, to_variants(assignments),
+                            child_streams(rng), warmup);
+    return measure_all(source, n);
 }
 
 MeasurementSet measure_variants(
@@ -42,13 +55,8 @@ MeasurementSet measure_variants(
     const std::vector<workloads::VariantAssignment>& variants, std::size_t n,
     stats::Rng& rng) {
     RELPERF_REQUIRE(!variants.empty(), "measure_variants: no variants");
-    MeasurementSet set;
-    for (std::size_t i = 0; i < variants.size(); ++i) {
-        stats::Rng stream = rng.child(i);
-        set.add(variants[i].alg_name(),
-                executor.measure(chain, variants[i], n, stream));
-    }
-    return set;
+    SimSampleSource source(executor, chain, variants, child_streams(rng));
+    return measure_all(source, n);
 }
 
 MeasurementSet measure_variants_real(
@@ -56,13 +64,9 @@ MeasurementSet measure_variants_real(
     const std::vector<workloads::VariantAssignment>& variants, std::size_t n,
     stats::Rng& rng, std::size_t warmup) {
     RELPERF_REQUIRE(!variants.empty(), "measure_variants_real: no variants");
-    MeasurementSet set;
-    for (std::size_t i = 0; i < variants.size(); ++i) {
-        stats::Rng stream = rng.child(i);
-        set.add(variants[i].alg_name(),
-                executor.measure(chain, variants[i], n, stream, warmup));
-    }
-    return set;
+    RealSampleSource source(executor, chain, variants, child_streams(rng),
+                            warmup);
+    return measure_all(source, n);
 }
 
 AnalysisResult analyze_chain(
@@ -70,6 +74,21 @@ AnalysisResult analyze_chain(
     const std::vector<workloads::DeviceAssignment>& assignments,
     const AnalysisConfig& config) {
     stats::Rng rng(config.measurement_seed);
+    if (config.adaptive) {
+        RELPERF_REQUIRE(!assignments.empty(), "analyze_chain: no assignments");
+        SimSampleSource source(executor, chain, to_variants(assignments),
+                               child_streams(rng));
+        const MeasurementEngine engine(*config.adaptive, config.comparator,
+                                       config.clustering);
+        EngineResult measured = engine.run(source);
+        AnalysisResult out;
+        out.measurements = std::move(measured.measurements);
+        out.clustering = std::move(measured.clustering);
+        out.samples_per_alg = std::move(measured.samples_per_alg);
+        out.total_samples = measured.total_samples;
+        out.fixed_n_samples = measured.fixed_n_samples;
+        return out;
+    }
     MeasurementSet measurements = measure_assignments(
         executor, chain, assignments, config.measurements_per_alg, rng);
     return analyze_measurements(std::move(measurements), config);
@@ -80,7 +99,16 @@ AnalysisResult analyze_measurements(MeasurementSet measurements,
     const BootstrapComparator comparator(config.comparator);
     const RelativeClusterer clusterer(comparator, config.clustering);
     Clustering clustering = clusterer.cluster(measurements);
-    return AnalysisResult{std::move(measurements), std::move(clustering)};
+    AnalysisResult out;
+    out.samples_per_alg.reserve(measurements.size());
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        out.samples_per_alg.push_back(measurements.samples(i).size());
+    }
+    out.total_samples = measurements.total_samples();
+    out.fixed_n_samples = out.total_samples;
+    out.measurements = std::move(measurements);
+    out.clustering = std::move(clustering);
+    return out;
 }
 
 } // namespace relperf::core

@@ -4,15 +4,24 @@
 //! chain (simulated or real executor), then cluster the resulting
 //! distributions into performance classes. This is the library's main entry
 //! point — the examples and most benches go through it.
+//!
+//! Measurement itself lives in the MeasurementEngine
+//! (core/measurement_engine.hpp): the measure_* functions below are thin
+//! wrappers over the one generic source-backed path, kept for their
+//! historical signatures; their output is bit-identical to the pre-engine
+//! batch loops. AnalysisConfig::adaptive switches analyze_chain to the
+//! incremental early-stopping engine.
 
 #include "core/bootstrap_comparator.hpp"
 #include "core/clustering.hpp"
 #include "core/measurement.hpp"
+#include "core/measurement_engine.hpp"
 #include "sim/executor.hpp"
 #include "sim/real_executor.hpp"
 #include "workloads/chain.hpp"
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace relperf::core {
@@ -22,6 +31,9 @@ namespace relperf::core {
 /// This is the sharding contract: a campaign shard that measures assignment
 /// `index` with `stats::Rng(assignment_stream_seed(seed, index))` reproduces
 /// the unsharded run bit-for-bit, regardless of which shard runs it or when.
+/// It is also the adaptive-measurement contract: each assignment's sample is
+/// a deterministic prefix-extensible sequence of its own stream, so early
+/// stopping on one algorithm cannot perturb another's values.
 [[nodiscard]] std::uint64_t assignment_stream_seed(std::uint64_t master_seed,
                                                    std::size_t index) noexcept;
 
@@ -63,16 +75,30 @@ namespace relperf::core {
 /// Analysis configuration bundling the paper's N and Rep with the comparator
 /// knobs.
 struct AnalysisConfig {
-    std::size_t measurements_per_alg = 30; ///< Paper's N.
+    std::size_t measurements_per_alg = 30; ///< Paper's N (fixed-N path).
     BootstrapComparatorConfig comparator;  ///< Comparison strategy knobs.
     ClustererConfig clustering;            ///< Rep + seed.
     std::uint64_t measurement_seed = 0xFEEDULL;
+    /// When set, analyze_chain measures through the adaptive
+    /// MeasurementEngine under these knobs (measurements_per_alg is ignored;
+    /// the engine's min_n/max_n govern). `max_n == min_n` reproduces the
+    /// fixed-N path bit for bit.
+    std::optional<AdaptiveConfig> adaptive;
 };
 
 /// Result bundle: the raw distributions plus the clustering.
 struct AnalysisResult {
     MeasurementSet measurements;
     Clustering clustering;
+    /// Per-algorithm sample counts (all equal to N on the fixed path).
+    std::vector<std::size_t> samples_per_alg;
+    std::size_t total_samples = 0; ///< Sum of samples_per_alg.
+    /// What the fixed-N plan would have cost (count * max_n);
+    /// total_samples < fixed_n_samples quantifies the adaptive savings.
+    /// analyze_measurements cannot know the cap of an externally measured
+    /// set and defaults this to total_samples (zero savings); analyze_chain
+    /// and campaign::run_campaign fill in the true plan cost.
+    std::size_t fixed_n_samples = 0;
 };
 
 /// One-call pipeline over a simulated platform.

@@ -30,6 +30,11 @@ private:
     int saved_;
 };
 
+/// Stream id of the warmup rng derived from each measurement stream. Any
+/// fixed value works as long as nothing else derives children from the
+/// per-assignment streams (the sharder derives children of the *master*).
+constexpr std::uint64_t kWarmupStream = 0x57A12A11ULL;
+
 void busy_or_sleep(double seconds) {
     if (seconds <= 0.0) return;
     if (seconds < 50e-6) {
@@ -121,8 +126,15 @@ std::vector<double> RealExecutor::measure(const workloads::TaskChain& chain,
                                           std::size_t n, stats::Rng& rng,
                                           std::size_t warmup) const {
     RELPERF_REQUIRE(n > 0, "RealExecutor: need at least one measurement");
-    for (std::size_t i = 0; i < warmup; ++i) {
-        (void)run_once(chain, variant, rng);
+    // Warmup runs are hoisted onto their own stream, derived from the
+    // measurement stream's seed but never advancing it: the measured values
+    // consume the identical stream prefix for every warmup count, so warmup
+    // is pure cache/codepath heating and cannot shift what is measured.
+    if (warmup > 0) {
+        stats::Rng warmup_rng = rng.child(kWarmupStream);
+        for (std::size_t i = 0; i < warmup; ++i) {
+            (void)run_once(chain, variant, warmup_rng);
+        }
     }
     std::vector<double> out;
     out.reserve(n);

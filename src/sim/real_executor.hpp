@@ -43,6 +43,9 @@ public:
                                   stats::Rng& rng) const;
 
     /// `n` wall-clock measurements, with `warmup` unrecorded runs first.
+    /// Warmup runs execute on a hoisted child stream and never consume the
+    /// measurement stream: the measured runs draw the identical prefix of
+    /// `rng` for every warmup count.
     [[nodiscard]] std::vector<double> measure(const workloads::TaskChain& chain,
                                               const workloads::DeviceAssignment& assignment,
                                               std::size_t n, stats::Rng& rng,

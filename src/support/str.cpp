@@ -29,6 +29,15 @@ std::size_t parse_size(std::string_view text, const std::string& context) {
     return static_cast<std::size_t>(value);
 }
 
+std::size_t parse_positive_size(std::string_view text,
+                                const std::string& context) {
+    const std::size_t value = parse_size(text, context);
+    if (value == 0) {
+        throw InvalidArgument(context + " must be positive");
+    }
+    return value;
+}
+
 std::uint64_t parse_u64(std::string_view text, const std::string& context) {
     const std::string_view trimmed = trim(text);
     if (trimmed.empty() || trimmed.front() == '-' || trimmed.front() == '+') {

@@ -45,6 +45,10 @@ namespace relperf::str {
 /// std::stoul/std::stod behaviour of silently accepting trailing junk or
 /// calling std::terminate through an unhandled exception.
 [[nodiscard]] std::size_t parse_size(std::string_view text, const std::string& context);
+/// As parse_size, additionally rejecting 0 (for knobs where zero would
+/// silently mean "off" or "default" instead of what was typed).
+[[nodiscard]] std::size_t parse_positive_size(std::string_view text,
+                                              const std::string& context);
 [[nodiscard]] std::uint64_t parse_u64(std::string_view text, const std::string& context);
 [[nodiscard]] double parse_double(std::string_view text, const std::string& context);
 

@@ -294,3 +294,111 @@ TEST(Campaign, RealExecutorCampaignRunsAndMerges) {
         for (const double s : merged.samples(i)) EXPECT_GT(s, 0.0);
     }
 }
+
+namespace {
+
+campaign::CampaignSpec adaptive_spec() {
+    campaign::CampaignSpec spec = small_spec();
+    spec.measurements = 20;
+    spec.adaptive_min = 6;
+    spec.adaptive_batch = 4;
+    spec.adaptive_stability = 2;
+    return spec;
+}
+
+} // namespace
+
+TEST(CampaignAdaptive, EndToEndSavesMeasurementsAndKeepsMembership) {
+    const campaign::CampaignSpec fixed = [&] {
+        campaign::CampaignSpec spec = small_spec();
+        spec.measurements = 20;
+        return spec;
+    }();
+    const campaign::CampaignSpec adaptive = adaptive_spec();
+
+    const core::AnalysisResult full = campaign::run_campaign(fixed, 2, 1);
+    const core::AnalysisResult early = campaign::run_campaign(adaptive, 2, 1);
+
+    // The acceptance criterion: fewer total measurements, same final
+    // performance-class membership.
+    EXPECT_LT(early.measurements.total_samples(),
+              full.measurements.total_samples());
+    // run_campaign restores the true fixed-N cost, so the result's own
+    // counters quantify the savings.
+    EXPECT_EQ(early.fixed_n_samples,
+              early.measurements.size() * adaptive.measurements);
+    EXPECT_LT(early.total_samples, early.fixed_n_samples);
+    ASSERT_EQ(early.clustering.final_assignment.size(),
+              full.clustering.final_assignment.size());
+    for (std::size_t alg = 0; alg < full.clustering.final_assignment.size();
+         ++alg) {
+        EXPECT_EQ(early.clustering.final_rank(alg),
+                  full.clustering.final_rank(alg))
+            << full.measurements.name(alg);
+    }
+}
+
+TEST(CampaignAdaptive, ShardManifestsCarryThePlanAndTheCounts) {
+    const campaign::CampaignSpec spec = adaptive_spec();
+    const campaign::ShardResult shard = campaign::run_shard(spec, 0, 2);
+    EXPECT_EQ(shard.manifest.adaptive_min, spec.adaptive_min);
+    EXPECT_EQ(shard.manifest.adaptive_batch, spec.adaptive_batch);
+    EXPECT_EQ(shard.manifest.adaptive_stability, spec.adaptive_stability);
+    ASSERT_EQ(shard.manifest.samples_per_algorithm.size(),
+              shard.measurements.size());
+    for (std::size_t i = 0; i < shard.measurements.size(); ++i) {
+        EXPECT_EQ(shard.manifest.samples_per_algorithm[i],
+                  shard.measurements.samples(i).size());
+        EXPECT_GE(shard.measurements.samples(i).size(), spec.adaptive_min);
+        EXPECT_LE(shard.measurements.samples(i).size(), spec.measurements);
+    }
+    // Fixed-N shards carry no adaptive manifest fields.
+    const campaign::ShardResult fixed = campaign::run_shard(small_spec(), 0, 2);
+    EXPECT_EQ(fixed.manifest.adaptive_min, 0u);
+    EXPECT_TRUE(fixed.manifest.samples_per_algorithm.empty());
+}
+
+TEST(CampaignAdaptive, MergeRejectsMixedAdaptivePlans) {
+    const campaign::CampaignSpec fixed = small_spec();
+    campaign::CampaignSpec adaptive = small_spec();
+    adaptive.adaptive_min = 6;
+    adaptive.adaptive_batch = 4;
+
+    const campaign::ShardResult f0 = campaign::run_shard(fixed, 0, 2);
+    const campaign::ShardResult f1 = campaign::run_shard(fixed, 1, 2);
+    const campaign::ShardResult a0 = campaign::run_shard(adaptive, 0, 2);
+    const campaign::ShardResult a1 = campaign::run_shard(adaptive, 1, 2);
+
+    // Fixed shards under an adaptive spec, adaptive shards under a fixed
+    // spec, and a mix — all rejected with the adaptive-plan message.
+    EXPECT_THROW((void)campaign::merge_shards(adaptive, {f0, f1}),
+                 relperf::Error);
+    EXPECT_THROW((void)campaign::merge_shards(fixed, {a0, a1}),
+                 relperf::Error);
+    EXPECT_THROW((void)campaign::merge_shards(adaptive, {a0, f1}),
+                 relperf::Error);
+    // Differing knobs are a different plan even with adaptive on both sides.
+    campaign::CampaignSpec other = adaptive;
+    other.adaptive_batch += 1;
+    EXPECT_THROW((void)campaign::merge_shards(other, {a0, a1}),
+                 relperf::Error);
+    EXPECT_NO_THROW((void)campaign::merge_shards(adaptive, {a0, a1}));
+}
+
+TEST(CampaignAdaptive, MergeRejectsCountsThePlanCannotReach) {
+    const campaign::CampaignSpec spec = adaptive_spec(); // min 6, batch 4
+    campaign::ShardResult s0 = campaign::run_shard(spec, 0, 2);
+    const campaign::ShardResult s1 = campaign::run_shard(spec, 1, 2);
+
+    // Rebuild s0 with one sample dropped from its first algorithm: the
+    // count 6 + k*4 arithmetic no longer works out.
+    core::MeasurementSet tampered;
+    for (std::size_t i = 0; i < s0.measurements.size(); ++i) {
+        auto samples = std::vector<double>(s0.measurements.samples(i).begin(),
+                                           s0.measurements.samples(i).end());
+        if (i == 0) samples.pop_back();
+        tampered.add(s0.measurements.name(i), std::move(samples));
+    }
+    s0.measurements = std::move(tampered);
+    EXPECT_THROW((void)campaign::merge_shards(spec, {s0, s1}), relperf::Error);
+}

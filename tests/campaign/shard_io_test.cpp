@@ -153,3 +153,94 @@ TEST(ShardIo, PreBackendShardFilesReadAsPortable) {
     std::remove(path.c_str());
     EXPECT_EQ(loaded.manifest.backend, "portable");
 }
+
+namespace {
+
+campaign::ShardResult adaptive_shard() {
+    campaign::ShardResult shard = sample_shard();
+    shard.manifest.adaptive_min = 2;
+    shard.manifest.adaptive_batch = 1;
+    shard.manifest.adaptive_stability = 2;
+    shard.manifest.samples_per_algorithm = {3, 3};
+    return shard;
+}
+
+} // namespace
+
+TEST(ShardIoAdaptive, ManifestRoundTripsAndFixedFilesStayClean) {
+    const campaign::ShardResult original = adaptive_shard();
+    const std::string path = testing::TempDir() + "relperf_shard_adaptive.csv";
+    campaign::write_shard_csv(original, path);
+    const campaign::ShardResult loaded = campaign::read_shard_csv(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(loaded.manifest.adaptive_min, 2u);
+    EXPECT_EQ(loaded.manifest.adaptive_batch, 1u);
+    EXPECT_EQ(loaded.manifest.adaptive_stability, 2u);
+    EXPECT_EQ(loaded.manifest.samples_per_algorithm,
+              (std::vector<std::size_t>{3, 3}));
+
+    // A fixed-N shard keeps the exact pre-adaptive file form: no adaptive
+    // manifest lines at all, and the reader defaults to fixed-N.
+    const std::string fixed_path = testing::TempDir() + "relperf_shard_fixed.csv";
+    campaign::write_shard_csv(sample_shard(), fixed_path);
+    std::ifstream in(fixed_path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content.find("adaptive"), std::string::npos);
+    EXPECT_EQ(content.find("samples_per_algorithm"), std::string::npos);
+    const campaign::ShardResult fixed = campaign::read_shard_csv(fixed_path);
+    std::remove(fixed_path.c_str());
+    EXPECT_EQ(fixed.manifest.adaptive_min, 0u);
+    EXPECT_TRUE(fixed.manifest.samples_per_algorithm.empty());
+}
+
+TEST(ShardIoAdaptive, DeclaredCountsAreCheckedAgainstTheRows) {
+    // Truncation/tampering canary: the manifest's per-algorithm counts must
+    // match the measurement rows that follow.
+    const campaign::ShardResult original = adaptive_shard();
+    const std::string path = testing::TempDir() + "relperf_shard_tamper.csv";
+    campaign::write_shard_csv(original, path);
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+
+    // Drop the last measurement row (simulated truncation).
+    std::string truncated = content;
+    truncated.erase(truncated.find_last_of('\n', truncated.size() - 2) + 1);
+    const std::string tpath = write_temp(truncated, "relperf_trunc.csv");
+    EXPECT_THROW((void)campaign::read_shard_csv(tpath), relperf::Error);
+    std::remove(tpath.c_str());
+
+    // Wrong declared count for the right number of rows.
+    std::string edited = content;
+    const std::string decl = "# samples_per_algorithm = 3,3";
+    edited.replace(edited.find(decl), decl.size(),
+                   "# samples_per_algorithm = 3,4");
+    const std::string epath = write_temp(edited, "relperf_edit.csv");
+    EXPECT_THROW((void)campaign::read_shard_csv(epath), relperf::Error);
+    std::remove(epath.c_str());
+
+    // Wrong list length.
+    std::string shorter = content;
+    shorter.replace(shorter.find(decl), decl.size(),
+                    "# samples_per_algorithm = 6");
+    const std::string spath = write_temp(shorter, "relperf_short.csv");
+    EXPECT_THROW((void)campaign::read_shard_csv(spath), relperf::Error);
+    std::remove(spath.c_str());
+
+    std::remove(path.c_str());
+}
+
+TEST(ShardIoAdaptive, WriterRejectsDivergentDeclaredCounts) {
+    // The manifest's declared counts are cross-checked on the write side
+    // too: persisting counts that disagree with the rows would write a lie
+    // the read-side canary then blames on file corruption.
+    campaign::ShardResult shard = adaptive_shard();
+    shard.manifest.samples_per_algorithm = {3, 4}; // algAA really has 3
+    const std::string path = testing::TempDir() + "relperf_divergent.csv";
+    EXPECT_THROW(campaign::write_shard_csv(shard, path), relperf::Error);
+    shard.manifest.samples_per_algorithm = {3};
+    EXPECT_THROW(campaign::write_shard_csv(shard, path), relperf::Error);
+    std::remove(path.c_str());
+}

@@ -196,3 +196,87 @@ TEST(CampaignSpec, ErrorPrefixIsAppliedExactlyOnce) {
             << "prefix duplicated: " << message;
     }
 }
+
+TEST(CampaignSpecAdaptive, KeysRoundTripAndOnlyAppearWhenSet) {
+    campaign::CampaignSpec fixed = sample_spec();
+    EXPECT_FALSE(fixed.adaptive());
+    // Fixed-N specs keep their exact pre-adaptive text: no adaptive keys.
+    EXPECT_EQ(fixed.to_text().find("adaptive"), std::string::npos);
+
+    campaign::CampaignSpec adaptive = sample_spec();
+    adaptive.adaptive_min = 4;
+    adaptive.adaptive_batch = 3;
+    adaptive.adaptive_stability = 5;
+    ASSERT_TRUE(adaptive.adaptive());
+    const campaign::CampaignSpec loaded =
+        campaign::CampaignSpec::parse(adaptive.to_text());
+    EXPECT_EQ(loaded.adaptive_min, 4u);
+    EXPECT_EQ(loaded.adaptive_batch, 3u);
+    EXPECT_EQ(loaded.adaptive_stability, 5u);
+    EXPECT_EQ(loaded.to_text(), adaptive.to_text());
+}
+
+TEST(CampaignSpecAdaptive, HashChangesOnlyWhenAdaptiveIsOn) {
+    const campaign::CampaignSpec fixed = sample_spec();
+    campaign::CampaignSpec adaptive = sample_spec();
+    adaptive.adaptive_min = 4;
+    EXPECT_NE(fixed.hash(), adaptive.hash());
+
+    // Fixed-N: the adaptive knobs AND the analysis knobs stay excluded (the
+    // pre-adaptive hash contract).
+    campaign::CampaignSpec reanalyzed = sample_spec();
+    reanalyzed.clustering_repetitions += 10;
+    reanalyzed.bootstrap_rounds += 10;
+    EXPECT_EQ(fixed.hash(), reanalyzed.hash());
+
+    // Adaptive: the stopping rule consults the clusterer, so the analysis
+    // knobs become measurement-determining and enter the hash.
+    campaign::CampaignSpec adaptive_reanalyzed = adaptive;
+    adaptive_reanalyzed.clustering_repetitions += 10;
+    EXPECT_NE(adaptive.hash(), adaptive_reanalyzed.hash());
+    campaign::CampaignSpec other_batch = adaptive;
+    other_batch.adaptive_batch += 1;
+    EXPECT_NE(adaptive.hash(), other_batch.hash());
+}
+
+TEST(CampaignSpecAdaptive, Validation) {
+    campaign::CampaignSpec spec = sample_spec();
+    spec.adaptive_min = spec.measurements + 1; // min above the cap
+    EXPECT_THROW(spec.validate(), relperf::Error);
+    spec = sample_spec();
+    spec.adaptive_min = 2;
+    spec.adaptive_batch = 0;
+    EXPECT_THROW(spec.validate(), relperf::Error);
+    spec = sample_spec();
+    spec.adaptive_min = 2;
+    spec.adaptive_stability = 0;
+    EXPECT_THROW(spec.validate(), relperf::Error);
+    spec = sample_spec();
+    EXPECT_THROW((void)spec.adaptive_config(), relperf::Error);
+    spec.adaptive_min = 2;
+    EXPECT_NO_THROW(spec.validate());
+    const relperf::core::AdaptiveConfig config = spec.adaptive_config();
+    EXPECT_EQ(config.min_n, 2u);
+    EXPECT_EQ(config.max_n, spec.measurements);
+    EXPECT_EQ(config.batch, spec.adaptive_batch);
+    EXPECT_EQ(config.stability_rounds, spec.adaptive_stability);
+    EXPECT_TRUE(spec.analysis_config().adaptive.has_value());
+    EXPECT_FALSE(sample_spec().analysis_config().adaptive.has_value());
+}
+
+TEST(CampaignSpecAdaptive, InertKnobsAreRejectedAtParse) {
+    // adaptive_batch without adaptive_min_measurements would do nothing and
+    // silently vanish on the next round trip — a typo'd plan dies loudly.
+    campaign::CampaignSpec spec = sample_spec();
+    const std::string text = spec.to_text() + "adaptive_batch = 3\n";
+    EXPECT_THROW((void)campaign::CampaignSpec::parse(text), relperf::Error);
+    const std::string text2 =
+        spec.to_text() + "adaptive_stability_rounds = 3\n";
+    EXPECT_THROW((void)campaign::CampaignSpec::parse(text2), relperf::Error);
+    // An explicit zero min is the same trap (it would mean fixed-N and drop
+    // the other knobs on round trip): rejected, with omission as the answer.
+    const std::string zero = spec.to_text() +
+                             "adaptive_min_measurements = 0\n"
+                             "adaptive_batch = 3\n";
+    EXPECT_THROW((void)campaign::CampaignSpec::parse(zero), relperf::Error);
+}

@@ -1,0 +1,257 @@
+//! The adaptive measurement engine's contracts:
+//!
+//!  * with max_n == min_n (adaptive off) it performs exactly one round and
+//!    reproduces the fixed-N batch path bit for bit, clustering included;
+//!  * adaptive runs early-stop algorithms whose class membership has been
+//!    stable for `stability_rounds` consecutive clusterings, never exceed
+//!    max_n, and clamp the last batch to the cap;
+//!  * every algorithm's adaptive sample is a strict prefix of the fixed-N
+//!    sample (per-algorithm streams make extension order-independent);
+//!  * runs are deterministic.
+
+#include "core/measurement_engine.hpp"
+
+#include "core/pipeline.hpp"
+#include "sim/profile.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+namespace core = relperf::core;
+namespace sim = relperf::sim;
+namespace workloads = relperf::workloads;
+using relperf::stats::Rng;
+
+namespace {
+
+/// Deterministic source: algorithm i yields `base[i] * (1 + tiny wiggle)`
+/// at stream position p — clearly separated distributions whose clustering
+/// is stable from the first round. Records every draw for assertions.
+class ScriptedSource final : public core::SampleSource {
+public:
+    explicit ScriptedSource(std::vector<std::pair<std::string, double>> algs)
+        : algs_(std::move(algs)),
+          position_(algs_.size(), 0),
+          draw_sizes_(algs_.size()) {}
+
+    [[nodiscard]] std::size_t count() const override { return algs_.size(); }
+    [[nodiscard]] std::string name(std::size_t index) const override {
+        return algs_.at(index).first;
+    }
+    [[nodiscard]] std::vector<double> draw(std::size_t index,
+                                           std::size_t n) override {
+        std::vector<double> out;
+        out.reserve(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t p = position_[index]++;
+            const double wiggle =
+                0.001 * static_cast<double>((p * 7) % 11) / 11.0;
+            out.push_back(algs_[index].second * (1.0 + wiggle));
+        }
+        draw_sizes_[index].push_back(n);
+        return out;
+    }
+
+    std::vector<std::pair<std::string, double>> algs_;
+    std::vector<std::size_t> position_;
+    std::vector<std::vector<std::size_t>> draw_sizes_;
+};
+
+ScriptedSource two_classes() {
+    return ScriptedSource{{{"fast", 1.0}, {"quick", 1.002}, {"slow", 2.0}}};
+}
+
+core::MeasurementEngine engine_for(core::AdaptiveConfig adaptive) {
+    core::ClustererConfig clustering;
+    clustering.repetitions = 30;
+    return core::MeasurementEngine(adaptive, {}, clustering);
+}
+
+} // namespace
+
+TEST(AdaptiveConfig, Validation) {
+    EXPECT_NO_THROW(core::AdaptiveConfig{}.validate());
+    core::AdaptiveConfig config;
+    config.min_n = 0;
+    EXPECT_THROW(config.validate(), relperf::InvalidArgument);
+    config = {};
+    config.max_n = config.min_n - 1;
+    EXPECT_THROW(config.validate(), relperf::InvalidArgument);
+    config = {};
+    config.batch = 0;
+    EXPECT_THROW(config.validate(), relperf::InvalidArgument);
+    config = {};
+    config.stability_rounds = 0;
+    EXPECT_THROW(config.validate(), relperf::InvalidArgument);
+    config = {};
+    config.min_n = config.max_n = 7;
+    EXPECT_FALSE(config.enabled());
+    config.max_n = 8;
+    EXPECT_TRUE(config.enabled());
+}
+
+TEST(MeasureAll, DrawsNOfEveryAlgorithmInOrder) {
+    ScriptedSource source = two_classes();
+    const core::MeasurementSet set = core::measure_all(source, 4);
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set.name(0), "fast");
+    EXPECT_EQ(set.name(2), "slow");
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        EXPECT_EQ(set.samples(i).size(), 4u);
+        EXPECT_EQ(source.draw_sizes_[i], std::vector<std::size_t>{4});
+    }
+    EXPECT_THROW((void)core::measure_all(source, 0), relperf::InvalidArgument);
+}
+
+TEST(MeasurementEngine, AdaptiveOffIsOneFixedRound) {
+    core::AdaptiveConfig adaptive;
+    adaptive.min_n = adaptive.max_n = 6;
+    ScriptedSource source = two_classes();
+    const core::EngineResult result = engine_for(adaptive).run(source);
+
+    EXPECT_EQ(result.rounds, 1u);
+    EXPECT_EQ(result.total_samples, 18u);
+    EXPECT_EQ(result.fixed_n_samples, 18u);
+    EXPECT_EQ(result.saved_samples(), 0u);
+    EXPECT_EQ(result.samples_per_alg,
+              (std::vector<std::size_t>{6, 6, 6}));
+
+    // Bit-identical to the legacy batch path, clustering included.
+    ScriptedSource again = two_classes();
+    core::MeasurementSet batch = core::measure_all(again, 6);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(std::vector<double>(result.measurements.samples(i).begin(),
+                                      result.measurements.samples(i).end()),
+                  std::vector<double>(batch.samples(i).begin(),
+                                      batch.samples(i).end()));
+    }
+    core::AnalysisConfig analysis;
+    analysis.clustering.repetitions = 30;
+    const core::AnalysisResult reference =
+        core::analyze_measurements(std::move(batch), analysis);
+    ASSERT_EQ(result.clustering.cluster_count(),
+              reference.clustering.cluster_count());
+    for (std::size_t alg = 0; alg < 3; ++alg) {
+        EXPECT_EQ(result.clustering.final_assignment[alg].rank,
+                  reference.clustering.final_assignment[alg].rank);
+        EXPECT_DOUBLE_EQ(result.clustering.final_assignment[alg].score,
+                         reference.clustering.final_assignment[alg].score);
+    }
+}
+
+TEST(MeasurementEngine, StableMembershipStopsAfterStabilityRounds) {
+    core::AdaptiveConfig adaptive;
+    adaptive.min_n = 5;
+    adaptive.max_n = 30;
+    adaptive.batch = 3;
+    adaptive.stability_rounds = 2;
+    ScriptedSource source = two_classes();
+    const core::EngineResult result = engine_for(adaptive).run(source);
+
+    // Clearly separated distributions: membership is identical at N = 5, 8
+    // and 11, so every algorithm stops after two stable comparisons.
+    EXPECT_EQ(result.samples_per_alg,
+              (std::vector<std::size_t>{11, 11, 11}));
+    EXPECT_EQ(result.rounds, 3u);
+    EXPECT_EQ(result.total_samples, 33u);
+    EXPECT_EQ(result.fixed_n_samples, 90u);
+    EXPECT_EQ(result.saved_samples(), 57u);
+    for (std::size_t i = 0; i < source.count(); ++i) {
+        EXPECT_EQ(source.draw_sizes_[i],
+                  (std::vector<std::size_t>{5, 3, 3}));
+    }
+    // The clustering separates the two classes.
+    EXPECT_EQ(result.clustering.final_rank(0),
+              result.clustering.final_rank(1));
+    EXPECT_NE(result.clustering.final_rank(0),
+              result.clustering.final_rank(2));
+}
+
+TEST(MeasurementEngine, CapClampsTheLastBatch) {
+    core::AdaptiveConfig adaptive;
+    adaptive.min_n = 5;
+    adaptive.max_n = 7;
+    adaptive.batch = 10;      // would overshoot: must clamp to 2
+    adaptive.stability_rounds = 50; // never satisfied: the cap stops everyone
+    ScriptedSource source = two_classes();
+    const core::EngineResult result = engine_for(adaptive).run(source);
+    EXPECT_EQ(result.samples_per_alg, (std::vector<std::size_t>{7, 7, 7}));
+    for (std::size_t i = 0; i < source.count(); ++i) {
+        EXPECT_EQ(source.draw_sizes_[i], (std::vector<std::size_t>{5, 2}));
+    }
+    EXPECT_EQ(result.saved_samples(), 0u);
+}
+
+TEST(MeasurementEngine, AdaptiveSamplesAreAPrefixOfTheFixedRun) {
+    // The determinism contract on a real workload: per-assignment streams
+    // make each algorithm's adaptive sample literally the first
+    // samples_per_alg[i] values of the fixed-N sample.
+    const workloads::TaskChain chain = workloads::paper_rls_chain(10);
+    const sim::CalibratedProfile profile = sim::paper_rls_profile();
+    const sim::SimulatedExecutor executor(profile, sim::NoiseModel{});
+    const auto assignments = workloads::enumerate_assignments(3);
+    std::vector<workloads::VariantAssignment> variants;
+    for (const auto& a : assignments) variants.emplace_back(a);
+
+    const auto streams = [](const Rng& master) {
+        return [&master](std::size_t i) { return master.child(i); };
+    };
+
+    Rng fixed_master(99);
+    core::SimSampleSource fixed_source(executor, chain, variants,
+                                       streams(fixed_master));
+    const core::MeasurementSet fixed = core::measure_all(fixed_source, 30);
+
+    core::AdaptiveConfig adaptive;
+    adaptive.min_n = 8;
+    adaptive.max_n = 30;
+    adaptive.batch = 4;
+    adaptive.stability_rounds = 2;
+    Rng adaptive_master(99);
+    core::SimSampleSource adaptive_source(executor, chain, variants,
+                                          streams(adaptive_master));
+    const core::EngineResult result = engine_for(adaptive).run(adaptive_source);
+
+    ASSERT_EQ(result.measurements.size(), fixed.size());
+    for (std::size_t i = 0; i < fixed.size(); ++i) {
+        const auto grown = result.measurements.samples(i);
+        const auto full = fixed.samples(i);
+        ASSERT_LE(grown.size(), full.size()) << fixed.name(i);
+        ASSERT_GE(grown.size(), adaptive.min_n) << fixed.name(i);
+        for (std::size_t k = 0; k < grown.size(); ++k) {
+            EXPECT_EQ(grown[k], full[k]) << fixed.name(i) << " sample " << k;
+        }
+    }
+}
+
+TEST(MeasurementEngine, RunsAreDeterministic) {
+    core::AdaptiveConfig adaptive;
+    adaptive.min_n = 5;
+    adaptive.max_n = 20;
+    adaptive.batch = 5;
+    adaptive.stability_rounds = 1;
+    ScriptedSource a = two_classes();
+    ScriptedSource b = two_classes();
+    const core::EngineResult ra = engine_for(adaptive).run(a);
+    const core::EngineResult rb = engine_for(adaptive).run(b);
+    EXPECT_EQ(ra.samples_per_alg, rb.samples_per_alg);
+    EXPECT_EQ(ra.rounds, rb.rounds);
+    for (std::size_t i = 0; i < ra.measurements.size(); ++i) {
+        EXPECT_EQ(std::vector<double>(ra.measurements.samples(i).begin(),
+                                      ra.measurements.samples(i).end()),
+                  std::vector<double>(rb.measurements.samples(i).begin(),
+                                      rb.measurements.samples(i).end()));
+    }
+}
+
+TEST(MeasurementEngine, RejectsEmptySourceAndBadConfig) {
+    ScriptedSource empty({});
+    EXPECT_THROW((void)engine_for({}).run(empty), relperf::InvalidArgument);
+    core::AdaptiveConfig bad;
+    bad.min_n = 0;
+    EXPECT_THROW(core::MeasurementEngine(bad, {}, {}),
+                 relperf::InvalidArgument);
+}

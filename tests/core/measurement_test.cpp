@@ -31,6 +31,51 @@ TEST(MeasurementSet, SummaryDelegatesToStats) {
     EXPECT_DOUBLE_EQ(s.median, 2.0);
 }
 
+TEST(MeasurementSet, ExtendAppendsSamples) {
+    MeasurementSet set;
+    set.add("a", {1.0, 2.0});
+    set.add("b", {5.0});
+    const std::vector<double> more = {3.0, 4.0};
+    set.extend(0, more);
+    EXPECT_EQ(std::vector<double>(set.samples(0).begin(), set.samples(0).end()),
+              (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+    EXPECT_EQ(set.samples(1).size(), 1u); // the other algorithm is untouched
+    EXPECT_EQ(set.total_samples(), 5u);
+    // Lookups stay correct after extension.
+    EXPECT_EQ(set.index_of("a"), 0u);
+    EXPECT_EQ(set.index_of("b"), 1u);
+}
+
+TEST(MeasurementSet, ExtendValidatesLikeAdd) {
+    MeasurementSet set;
+    set.add("a", {1.0});
+    EXPECT_THROW(set.extend(1, std::vector<double>{1.0}),
+                 relperf::InvalidArgument);
+    EXPECT_THROW(set.extend(0, std::vector<double>{}),
+                 relperf::InvalidArgument);
+    EXPECT_THROW(set.extend(0, std::vector<double>{-1.0}),
+                 relperf::InvalidArgument);
+    EXPECT_EQ(set.samples(0).size(), 1u); // failed extends change nothing
+}
+
+TEST(MeasurementSet, LookupsAreMapBackedAtScale) {
+    // index_of/contains sit inside the merge path, called once per algorithm
+    // over campaigns of up to 65536 algorithms — a linear scan there is
+    // O(n^2). This stays comfortably fast with the name -> index map (and
+    // functions as a regression canary if someone reverts to scanning).
+    MeasurementSet set;
+    constexpr std::size_t kCount = 4096;
+    for (std::size_t i = 0; i < kCount; ++i) {
+        set.add("alg" + std::to_string(i), {1.0});
+    }
+    for (std::size_t i = 0; i < kCount; ++i) {
+        const std::string name = "alg" + std::to_string(i);
+        ASSERT_TRUE(set.contains(name));
+        ASSERT_EQ(set.index_of(name), i);
+    }
+    EXPECT_FALSE(set.contains("alg" + std::to_string(kCount)));
+}
+
 TEST(MeasurementSet, InvalidInputsThrow) {
     MeasurementSet set;
     EXPECT_THROW(set.add("", {1.0}), relperf::InvalidArgument);

@@ -81,3 +81,35 @@ TEST(RealExecutor, AssignmentLengthMismatchThrows) {
     EXPECT_THROW((void)exec.measure(tiny_chain(), DeviceAssignment("DD"), 0, rng),
                  relperf::InvalidArgument);
 }
+
+TEST(RealExecutor, WarmupDoesNotConsumeTheMeasurementStream) {
+    // Regression: warmup runs used to execute on the measurement stream, so
+    // changing the warmup count shifted which random task data the measured
+    // runs consumed — the measured *values* depended on warmup. Warmups are
+    // hoisted onto a child stream now: after measuring n samples the
+    // measurement stream must sit at the identical position for every warmup
+    // count (the measured runs drew the identical prefix).
+    const sim::RealExecutor exec(EmulatedDevice{1, 0.0, 0.0},
+                                 EmulatedDevice{1, 0.0, 0.0});
+    const auto chain = tiny_chain();
+    std::vector<std::uint64_t> next_bits;
+    for (const std::size_t warmup : {0u, 1u, 4u}) {
+        Rng rng(0xABCDE);
+        (void)exec.measure(chain, DeviceAssignment("DA"), 3, rng, warmup);
+        next_bits.push_back(rng.bits());
+    }
+    EXPECT_EQ(next_bits[0], next_bits[1]);
+    EXPECT_EQ(next_bits[0], next_bits[2]);
+}
+
+TEST(RealExecutor, WarmupStillRunsTheChain) {
+    // The hoisted warmup still executes real work: n samples come back
+    // positive and the sample count ignores the warmup count.
+    const sim::RealExecutor exec(EmulatedDevice{1, 0.0, 0.0},
+                                 EmulatedDevice{1, 0.0, 0.0});
+    Rng rng(7);
+    const auto samples =
+        exec.measure(tiny_chain(), DeviceAssignment("DD"), 4, rng, 3);
+    ASSERT_EQ(samples.size(), 4u);
+    for (const double s : samples) EXPECT_GT(s, 0.0);
+}

@@ -19,6 +19,11 @@
 //!   $ relperf --campaign plan.spec --merge 'shard_*.csv'           # 3. cluster
 //!   $ relperf --campaign plan.spec --run --shards 4 --workers 4  # one host
 //!
+//! Adaptive campaigns (--adaptive, --min-n/--max-n/--batch/--stability)
+//! measure incrementally and stop algorithms whose performance-class
+//! membership stabilized, reporting the measurements saved against the
+//! fixed-N plan; --samples-csv records the per-algorithm counts.
+//!
 //! Input format (written by core::write_measurements_csv, campaign shard
 //! files and the experiment benches' --csv option; bench_micro_kernels is the
 //! exception — its --csv emits google-benchmark's own CSV schema, which this
@@ -35,6 +40,7 @@
 #include "core/report.hpp"
 #include "linalg/backend.hpp"
 #include "support/cli.hpp"
+#include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 
@@ -90,6 +96,60 @@ int cluster_diff(const std::string& pair) {
     return diff.identical() ? 0 : 1;
 }
 
+/// Applies the --adaptive/--min-n/--max-n/--batch/--stability overrides to a
+/// campaign spec. Any of the four value options implies --adaptive; enabling
+/// adaptive on a fixed-N spec starts from min_n = 10. Like --backend, these
+/// change the measurement plan (and the spec hash): every shard and the
+/// merge must be invoked with the same adaptive options.
+/// True when any adaptive option was given — the one list both
+/// apply_adaptive_overrides and the --input-mode guard consult.
+bool adaptive_options_present(const support::CliParser& cli) {
+    return cli.flag("adaptive") || cli.value_optional("min-n").has_value() ||
+           cli.value_optional("max-n").has_value() ||
+           cli.value_optional("batch").has_value() ||
+           cli.value_optional("stability").has_value();
+}
+
+void apply_adaptive_overrides(const support::CliParser& cli,
+                              campaign::CampaignSpec& spec) {
+    if (!adaptive_options_present(cli)) return;
+    const auto min_n = cli.value_optional("min-n");
+    const auto max_n = cli.value_optional("max-n");
+    const auto batch = cli.value_optional("batch");
+    const auto stability = cli.value_optional("stability");
+    // Zero would silently turn adaptive back off (adaptive_min == 0 means
+    // "fixed-N"): an explicit adaptive request with a zero knob is an error.
+    if (max_n) spec.measurements = str::parse_positive_size(*max_n, "--max-n");
+    if (!spec.adaptive()) spec.adaptive_min = core::AdaptiveConfig{}.min_n;
+    if (min_n) spec.adaptive_min = str::parse_positive_size(*min_n, "--min-n");
+    if (batch) spec.adaptive_batch = str::parse_positive_size(*batch, "--batch");
+    if (stability) {
+        spec.adaptive_stability = str::parse_positive_size(*stability, "--stability");
+    }
+    spec.validate(); // e.g. --min-n above the cap dies here, not mid-run
+}
+
+/// Prints what adaptive early stopping saved against the fixed-N plan and
+/// optionally writes the per-algorithm sample counts CSV (the CI artifact).
+void report_adaptive(const campaign::CampaignSpec& spec,
+                     const core::MeasurementSet& measurements,
+                     const std::optional<std::string>& samples_csv) {
+    if (samples_csv) {
+        support::CsvWriter csv(*samples_csv, {"algorithm", "samples"});
+        for (std::size_t i = 0; i < measurements.size(); ++i) {
+            csv.add_row({measurements.name(i),
+                         std::to_string(measurements.samples(i).size())});
+        }
+        std::printf("per-algorithm sample counts written to %s\n",
+                    samples_csv->c_str());
+    }
+    if (!spec.adaptive()) return;
+    std::printf("adaptive: %s\n",
+                core::render_savings(measurements.total_samples(),
+                                     measurements.size() * spec.measurements)
+                    .c_str());
+}
+
 /// Renders the cluster + final tables and optionally writes the clustering
 /// CSV (shared tail of every analyzing mode).
 void report_analysis(const core::AnalysisResult& result,
@@ -124,7 +184,7 @@ int list_backends() {
     return 0;
 }
 
-int campaign_init(const std::string& path,
+int campaign_init(const support::CliParser& cli, const std::string& path,
                   const std::optional<std::string>& backend,
                   const std::optional<std::string>& variants) {
     campaign::CampaignSpec spec;
@@ -132,6 +192,7 @@ int campaign_init(const std::string& path,
     if (variants) {
         spec.variant_backends = str::parse_name_list(*variants, "--variants");
     }
+    apply_adaptive_overrides(cli, spec);
     warn_unregistered_backends(spec);
     spec.save(path);
     std::printf("campaign spec written to %s\n\n", path.c_str());
@@ -144,7 +205,8 @@ int campaign_init(const std::string& path,
 }
 
 int campaign_shard(const campaign::CampaignSpec& spec, const std::string& ref_text,
-                   const std::optional<std::string>& out_path) {
+                   const std::optional<std::string>& out_path,
+                   const std::optional<std::string>& samples_csv) {
     if (!out_path) {
         std::fputs("error: --shard requires --out <shard.csv>\n", stderr);
         return 2;
@@ -158,18 +220,24 @@ int campaign_shard(const campaign::CampaignSpec& spec, const std::string& ref_te
             ? spec.backend
             : spec.backend + ", per-task axis " +
                   str::join(spec.variant_backends, "|");
-    std::printf("campaign '%s' shard %zu/%zu: %zu algorithms x %zu "
+    const std::string n_label =
+        spec.adaptive() ? str::format("%zu..%zu (adaptive)", spec.adaptive_min,
+                                      spec.measurements)
+                        : std::to_string(spec.measurements);
+    std::printf("campaign '%s' shard %zu/%zu: %zu algorithms x %s "
                 "measurements -> %s (backend %s, spec hash %016llx)\n",
                 spec.name.c_str(), ref.index, ref.count,
-                shard.measurements.size(), spec.measurements,
+                shard.measurements.size(), n_label.c_str(),
                 out_path->c_str(), backend_label.c_str(),
                 static_cast<unsigned long long>(shard.manifest.spec_hash));
+    report_adaptive(spec, shard.measurements, samples_csv);
     return 0;
 }
 
 int campaign_merge(const campaign::CampaignSpec& spec, const std::string& pattern,
                    const std::optional<std::string>& out_path,
-                   const std::optional<std::string>& merged_csv) {
+                   const std::optional<std::string>& merged_csv,
+                   const std::optional<std::string>& samples_csv) {
     const std::vector<std::string> paths =
         campaign::expand_shard_pattern(pattern);
     std::vector<campaign::ShardResult> shards;
@@ -186,8 +254,10 @@ int campaign_merge(const campaign::CampaignSpec& spec, const std::string& patter
         core::write_measurements_csv(merged, *merged_csv);
         std::printf("merged measurements written to %s\n", merged_csv->c_str());
     }
-    std::printf("merged %zu shards: %zu algorithms x %zu measurements\n\n",
-                shards.size(), merged.size(), spec.measurements);
+    report_adaptive(spec, merged, samples_csv);
+    std::printf("merged %zu shards: %zu algorithms x %zu total "
+                "measurements\n\n",
+                shards.size(), merged.size(), merged.total_samples());
     const core::AnalysisResult result =
         core::analyze_measurements(std::move(merged), spec.analysis_config());
     report_analysis(result, out_path);
@@ -197,7 +267,8 @@ int campaign_merge(const campaign::CampaignSpec& spec, const std::string& patter
 int campaign_run(const campaign::CampaignSpec& spec, std::size_t shard_count,
                  std::size_t workers,
                  const std::optional<std::string>& out_path,
-                 const std::optional<std::string>& merged_csv) {
+                 const std::optional<std::string>& merged_csv,
+                 const std::optional<std::string>& samples_csv) {
     if (shard_count == 0) shard_count = spec.shards;
     std::printf("campaign '%s': %zu shards, %s workers\n\n", spec.name.c_str(),
                 shard_count,
@@ -209,6 +280,7 @@ int campaign_run(const campaign::CampaignSpec& spec, std::size_t shard_count,
         std::printf("merged measurements written to %s\n\n",
                     merged_csv->c_str());
     }
+    report_adaptive(spec, result.measurements, samples_csv);
     report_analysis(result, out_path);
     return 0;
 }
@@ -310,6 +382,20 @@ int main(int argc, char** argv) try {
                                "(2B)^k placement x backend variants)", "");
     cli.add_flag("list-backends", "list the linalg backends of this build and "
                                   "exit");
+    cli.add_flag("adaptive", "campaign modes: measure incrementally and stop "
+                             "algorithms whose class membership stabilized "
+                             "(overrides the spec's adaptive keys)");
+    cli.add_option("min-n", "adaptive: measurements before any early stop "
+                            "(implies --adaptive; default 10)", "");
+    cli.add_option("max-n", "adaptive: per-algorithm cap (implies --adaptive; "
+                            "overrides the spec's `measurements`)", "");
+    cli.add_option("batch", "adaptive: measurements added per round (implies "
+                            "--adaptive; default 5)", "");
+    cli.add_option("stability", "adaptive: consecutive stable clusterings "
+                                "before an algorithm stops (implies "
+                                "--adaptive; default 2)", "");
+    cli.add_option("samples-csv", "write the per-algorithm sample counts CSV "
+                                  "here (campaign modes)", "");
     cli.add_option("cluster-diff", "compare two clustering CSVs 'old.csv,"
                                    "new.csv' by performance-class membership; "
                                    "exits non-zero when membership changed",
@@ -326,7 +412,8 @@ int main(int argc, char** argv) try {
     const auto backend_override = cli.value_optional("backend");
     const auto variants_override = cli.value_optional("variants");
     if (const auto init_path = cli.value_optional("campaign-init")) {
-        return campaign_init(*init_path, backend_override, variants_override);
+        return campaign_init(cli, *init_path, backend_override,
+                             variants_override);
     }
 
     const auto input = cli.value_optional("input");
@@ -342,6 +429,14 @@ int main(int argc, char** argv) try {
                    stderr);
         return 2;
     }
+    if (input &&
+        (adaptive_options_present(cli) || cli.value_optional("samples-csv"))) {
+        std::fputs("error: --adaptive/--min-n/--max-n/--batch/--stability/"
+                   "--samples-csv only apply to campaign modes (--input CSVs "
+                   "were measured elsewhere)\n",
+                   stderr);
+        return 2;
+    }
 
     if (campaign_path) {
         campaign::CampaignSpec spec =
@@ -354,6 +449,7 @@ int main(int argc, char** argv) try {
             spec.variant_backends =
                 str::parse_name_list(*variants_override, "--variants");
         }
+        apply_adaptive_overrides(cli, spec);
         const auto shard_ref = cli.value_optional("shard");
         const auto merge_pattern = cli.value_optional("merge");
         const int modes = (shard_ref ? 1 : 0) + (merge_pattern ? 1 : 0) +
@@ -365,18 +461,21 @@ int main(int argc, char** argv) try {
             return 2;
         }
         if (shard_ref) {
-            return campaign_shard(spec, *shard_ref, cli.value_optional("out"));
+            return campaign_shard(spec, *shard_ref, cli.value_optional("out"),
+                                  cli.value_optional("samples-csv"));
         }
         if (merge_pattern) {
             return campaign_merge(spec, *merge_pattern,
                                   cli.value_optional("out"),
-                                  cli.value_optional("merged-csv"));
+                                  cli.value_optional("merged-csv"),
+                                  cli.value_optional("samples-csv"));
         }
         return campaign_run(spec,
                             str::parse_size(cli.value("shards"), "--shards"),
                             str::parse_size(cli.value("workers"), "--workers"),
                             cli.value_optional("out"),
-                            cli.value_optional("merged-csv"));
+                            cli.value_optional("merged-csv"),
+                            cli.value_optional("samples-csv"));
     }
 
     if (!input) {
