@@ -272,6 +272,35 @@ TEST(Campaign, RunShardRejectsUnavailableBackend) {
                  relperf::InvalidArgument);
 }
 
+TEST(Campaign, ParallelRunnerErrorPathIsRaceFreeAndRethrowsOnce) {
+    // Regression guard for the LocalShardRunner error path: with more
+    // workers than cores every worker hits the throwing run_shard
+    // concurrently, so first_error assignment and the atomic `next` drain
+    // race if they are ever unsynchronized (TSan covers this test in CI).
+    // Exactly one of the concurrent exceptions must come back out.
+    campaign::CampaignSpec spec = small_spec();
+    spec.backend = "warp-core";
+    for (int round = 0; round < 5; ++round) {
+        EXPECT_THROW((void)campaign::LocalShardRunner(8).run(spec, 8),
+                     relperf::InvalidArgument);
+    }
+}
+
+TEST(Campaign, ParallelRunnerHandlesMoreWorkersThanShards) {
+    // Workers beyond the shard count must drain the queue and exit without
+    // touching results out of range; the survivors' output is bit-identical
+    // to the serial run.
+    const campaign::CampaignSpec spec = small_spec();
+    const std::vector<campaign::ShardResult> serial =
+        campaign::LocalShardRunner(1).run(spec, 2);
+    const std::vector<campaign::ShardResult> crowded =
+        campaign::LocalShardRunner(16).run(spec, 2);
+    ASSERT_EQ(serial.size(), crowded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        expect_sets_identical(crowded[i].measurements, serial[i].measurements);
+    }
+}
+
 TEST(Campaign, RealExecutorCampaignRunsAndMerges) {
     campaign::CampaignSpec spec;
     spec.name = "gtest-real";

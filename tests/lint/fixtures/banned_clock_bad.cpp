@@ -1,0 +1,20 @@
+// Fixture: every banned wall-clock read (never compiled — lint input only).
+// Line numbers are asserted exactly in lint_test.cpp. This file doubles as
+// the allowlist-suppression case: fixture_allow.txt allowlists it wholesale
+// the way src/sim/real_executor.cpp is in the real tree.
+#include <chrono>
+#include <ctime>
+
+double bad_timing() {
+    const auto t0 = std::chrono::steady_clock::now();      // line 9
+    const auto t1 = std::chrono::system_clock::now();      // line 10
+    const auto t2 = std::chrono::high_resolution_clock::now(); // line 11
+    std::time_t wall = std::time(nullptr);                 // line 12
+    std::clock_t cpu = std::clock();                       // line 13
+    struct timespec ts;
+    timespec_get(&ts, 1);                                  // line 15
+    return static_cast<double>(wall) + static_cast<double>(cpu) +
+           std::chrono::duration<double>(t1 - t0).count() +
+           std::chrono::duration<double>(t2 - t0).count() +
+           static_cast<double>(ts.tv_sec);
+}

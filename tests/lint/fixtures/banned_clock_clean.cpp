@@ -1,0 +1,22 @@
+// Fixture: deterministic code that must NOT trip banned-clock — member
+// functions named time()/now() on our own types, fields named clock, and
+// chrono durations used as plain value types (no clock reads).
+#include <chrono>
+#include <cstddef>
+
+struct Sample {
+    double seconds;
+    double time() const { return seconds; } // member .time(): not the libc call
+};
+
+struct Schedule {
+    std::size_t clock; // a field named clock, never called
+    std::chrono::duration<double> budget{1.0};
+};
+
+double clean_timing(const Sample& sample, const Schedule& schedule) {
+    // Durations are deterministic values; only ::now() reads a clock.
+    const std::chrono::duration<double> twice = schedule.budget * 2.0;
+    return sample.time() + twice.count() +
+           static_cast<double>(schedule.clock);
+}

@@ -1,0 +1,12 @@
+// Fixture: every banned randomness source, one per line (never compiled —
+// lint input only). Line numbers are asserted exactly in lint_test.cpp.
+#include <cstdlib>
+#include <random>
+
+int bad_seed() {
+    std::random_device entropy;                  // line 7: random_device
+    std::srand(42);                              // line 8: srand
+    int noise = std::rand();                     // line 9: rand
+    noise += static_cast<int>(drand48() * 10.0); // line 10: drand48
+    return noise + static_cast<int>(entropy());
+}

@@ -1,0 +1,18 @@
+// Fixture: the sanctioned way to draw randomness — a seeded stream. Also
+// proves the scanner is token-exact: identifiers that merely *contain*
+// banned names (operand, grandparent) and banned names inside strings or
+// comments must not fire.
+#include <cstdint>
+
+struct Rng {
+    std::uint64_t state;
+    std::uint64_t next() { return state = state * 6364136223846793005ULL + 1; }
+};
+
+int operand(int grandparent) {
+    Rng rng{12345};
+    const char* label = "rand() and srand() are banned"; // string, not a call
+    // rand() in a comment is fine too.
+    return grandparent + static_cast<int>(rng.next() % 100) +
+           static_cast<int>(label[0]);
+}

@@ -1,0 +1,15 @@
+// Fixture: float conversions without explicit precision in format-family
+// calls (never compiled — lint input only). Lines asserted in lint_test.cpp.
+#include <cstdio>
+#include <string>
+
+namespace str {
+std::string format(const char* fmt, ...);
+}
+
+void bad_writers(double value) {
+    std::printf("%g\n", value);                    // line 11: bare %g
+    std::printf("width only: %12f\n", value);      // line 12: width, no prec.
+    const std::string row = str::format("%s,%e", "alg", value); // line 13
+    std::fprintf(stderr, "%-8.3f ok but %G bad\n", value, value); // line 14
+}

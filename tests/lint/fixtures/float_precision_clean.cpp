@@ -1,0 +1,18 @@
+// Fixture: explicit-precision float output plus the look-alikes that must
+// not fire — %% escapes, integer conversions, '%' in plain strings outside
+// format calls, and bare-% text like "50% g-force" (no format context).
+#include <cstdio>
+#include <string>
+
+namespace str {
+std::string format(const char* fmt, ...);
+}
+
+void clean_writers(double value, int count) {
+    std::printf("%.17g\n", value);            // round-trip precision
+    std::printf("%12.6g | %.3e\n", value, value);
+    std::printf("%d rows, 100%% done\n", count);
+    const std::string row = str::format("%s,%.17g", "alg", value);
+    const char* label = "accelerates at 5% g-force"; // not a format call
+    std::puts(label);
+}

@@ -1,0 +1,15 @@
+// Fixture: raw OpenMP usage without _OPENMP guards (never compiled — lint
+// input only). Lines asserted in lint_test.cpp.
+#include <omp.h> // line 3: unguarded include
+
+int bad_threads() {
+    return omp_get_max_threads(); // line 6: unguarded call
+}
+
+int bad_else_branch() {
+#ifdef _OPENMP
+    return omp_get_num_threads(); // guarded: fine
+#else
+    return omp_get_thread_num(); // line 13: the #else of _OPENMP is serial
+#endif
+}

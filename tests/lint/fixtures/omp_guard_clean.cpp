@@ -1,0 +1,27 @@
+// Fixture: correctly guarded OpenMP usage — the gemm.cpp idiom. Includes,
+// calls in #ifdef and #if defined regions, and unguarded `#pragma omp`
+// lines (pragmas are ignored by serial builds, so they need no guard).
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+int clean_threads() {
+#ifdef _OPENMP
+    const int threads = omp_get_max_threads();
+#else
+    const int threads = 1;
+#endif
+    return threads;
+}
+
+double clean_sum(const double* data, int n) {
+    double total = 0.0;
+#pragma omp parallel for reduction(+ : total)
+    for (int i = 0; i < n; ++i) {
+        total += data[i];
+    }
+#if defined(_OPENMP)
+    total += omp_get_wtick(); // inside #if defined(_OPENMP): fine
+#endif
+    return total;
+}

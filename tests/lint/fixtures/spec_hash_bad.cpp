@@ -1,0 +1,38 @@
+// Fixture: the PR-5 bug class — a measurement-determining spec key that
+// parse() accepts but hash() never covers, so two different plans share a
+// plan hash (never compiled — lint input only). Lines asserted in
+// lint_test.cpp.
+#include <cstdint>
+#include <string>
+
+struct CampaignSpec {
+    std::string name;
+    std::size_t measurements = 30;
+    std::size_t warmup = 1; // parsed below, missing from hash(): the bug
+    static CampaignSpec parse(const std::string& text);
+    std::uint64_t hash() const;
+};
+
+CampaignSpec CampaignSpec::parse(const std::string& text) {
+    CampaignSpec spec;
+    const std::string key = text;
+    const std::string value = text;
+    if (key == "campaign") {                   // line 20: allowlisted field
+        spec.name = value;
+    } else if (key == "measurements") {        // line 22: hashed, fine
+        spec.measurements = value.size();
+    } else if (key == "warmup") {              // line 24: NOT hashed -> bug
+        spec.warmup = value.size();
+    }
+    return spec;
+}
+
+std::uint64_t CampaignSpec::hash() const {
+    std::string plan = "measurements=" + std::to_string(measurements);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : plan) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}

@@ -1,0 +1,42 @@
+// Fixture: every parsed key is covered by hash(), including one via the
+// abbreviated-literal form the real spec.cpp uses ("adaptive_min" covering
+// "adaptive_min_measurements"). Must produce no spec-hash-field diagnostic
+// when checked with an allowlist covering 'campaign'; lint_test.cpp also
+// checks the uncovered-'campaign' diagnostic without the allowlist.
+#include <cstdint>
+#include <string>
+
+struct CampaignSpec {
+    std::string name;
+    std::size_t measurements = 30;
+    std::size_t adaptive_min_measurements = 0;
+    static CampaignSpec parse(const std::string& text);
+    std::uint64_t hash() const;
+};
+
+CampaignSpec CampaignSpec::parse(const std::string& text) {
+    CampaignSpec spec;
+    const std::string key = text;
+    const std::string value = text;
+    if (key == "campaign") { // label only; allowlisted in fixture_allow.txt
+        spec.name = value;
+    } else if (key == "measurements") {
+        spec.measurements = value.size();
+    } else if (key == "adaptive_min_measurements") {
+        spec.adaptive_min_measurements = value.size();
+    }
+    return spec;
+}
+
+std::uint64_t CampaignSpec::hash() const {
+    std::string plan = "measurements=" + std::to_string(measurements);
+    if (adaptive_min_measurements != 0) {
+        plan += ";adaptive_min=" + std::to_string(adaptive_min_measurements);
+    }
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : plan) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}

@@ -1,0 +1,20 @@
+// Fixture: unordered-container iteration feeding output sinks (never
+// compiled — lint input only). Line numbers asserted in lint_test.cpp.
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void bad_csv(const std::unordered_map<std::string, double>& scores,
+             std::ostream& out) {
+    for (const auto& entry : scores) {                    // line 10: << sink
+        out << entry.first << ',' << entry.second << '\n';
+    }
+}
+
+void bad_manifest(std::ostream& out) {
+    std::unordered_set<std::string> hosts = {"a", "b"};
+    for (const std::string& host : hosts) {               // line 17: write sink
+        write(out, host);
+    }
+}

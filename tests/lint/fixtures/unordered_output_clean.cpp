@@ -1,0 +1,35 @@
+// Fixture: the two acceptable shapes — iterate unordered containers for
+// pure computation (no output sink), or sort into an ordered container
+// before writing. Neither may trip unordered-output.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double clean_total(const std::unordered_map<std::string, double>& scores) {
+    double total = 0.0;
+    for (const auto& entry : scores) { // no sink in the body: fine
+        total += entry.second;
+    }
+    return total;
+}
+
+void clean_csv(const std::unordered_map<std::string, double>& scores,
+               std::ostream& out) {
+    // Deterministic writer: materialize and sort, then emit.
+    std::vector<std::pair<std::string, double>> rows(scores.begin(),
+                                                     scores.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto& row : rows) {
+        out << row.first << ',' << row.second << '\n';
+    }
+}
+
+void clean_map_csv(const std::map<std::string, double>& ordered,
+                   std::ostream& out) {
+    for (const auto& entry : ordered) { // std::map iterates sorted: fine
+        out << entry.first << ',' << entry.second << '\n';
+    }
+}

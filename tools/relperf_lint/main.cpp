@@ -1,0 +1,94 @@
+//! relperf_lint driver. See lint.hpp for rules and the exit-code contract:
+//!   0  clean (allowlisted diagnostics reported, not fatal)
+//!   1  at least one non-allowlisted diagnostic
+//!   2  usage or IO error
+#include "lint.hpp"
+
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+void print_usage(std::ostream& out) {
+    out << "usage: relperf_lint [options] [paths...]\n"
+           "\n"
+           "Statically checks relperf's determinism invariants over C++ "
+           "sources.\n"
+           "Paths are files or directories relative to --root; the default\n"
+           "path set is `src tools bench` (the shipped measurement code).\n"
+           "\n"
+           "options:\n"
+           "  --root DIR     tree root paths are resolved against "
+           "(default: .)\n"
+           "  --allow FILE   allowlist file (see ci/lint_allow.txt); every\n"
+           "                 entry needs a '# justification' comment\n"
+           "  --list-rules   print the rule table and exit\n"
+           "  --help         this text\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string root = ".";
+    std::string allow_path;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "relperf_lint: " << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            print_usage(std::cout);
+            return 0;
+        } else if (arg == "--list-rules") {
+            for (const relperf::lint::RuleInfo& rule : relperf::lint::rules()) {
+                std::cout << rule.id << " ("
+                          << relperf::lint::to_string(rule.severity)
+                          << "): " << rule.summary << '\n';
+            }
+            return 0;
+        } else if (arg == "--root") {
+            root = value("--root");
+        } else if (arg == "--allow") {
+            allow_path = value("--allow");
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "relperf_lint: unknown option '" << arg << "'\n";
+            print_usage(std::cerr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) paths = {"src", "tools", "bench"};
+
+    try {
+        relperf::lint::Allowlist allow;
+        if (!allow_path.empty()) {
+            allow = relperf::lint::Allowlist::load(allow_path);
+        }
+        const relperf::lint::LintResult result =
+            relperf::lint::lint_paths(root, paths, allow);
+
+        for (const relperf::lint::Diagnostic& d : result.allowed) {
+            std::cout << d.str() << " (allowlisted)\n";
+        }
+        for (const relperf::lint::Diagnostic& d : result.diagnostics) {
+            std::cout << d.str() << '\n';
+        }
+        std::cout << "relperf_lint: " << result.files_scanned
+                  << " files scanned, " << result.diagnostics.size()
+                  << " violation(s), " << result.allowed.size()
+                  << " allowlisted\n";
+        return result.diagnostics.empty() ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::cerr << "relperf_lint: " << e.what() << '\n';
+        return 2;
+    }
+}
