@@ -14,6 +14,10 @@
 #include "bench_common.hpp"
 #include "campaign/campaign.hpp"
 #include "core/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/provenance.hpp"
+#include "obs/trace.hpp"
 #include "support/csv.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
@@ -21,6 +25,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 
 using namespace relperf;
 
@@ -57,9 +62,20 @@ int main(int argc, char** argv) try {
     cli.add_option("stability", "adaptive: consecutive stable clusterings "
                                 "before an algorithm stops (implies "
                                 "--adaptive; default 2)", "");
+    cli.add_option("trace", "write a Chrome trace-event JSON of the sweep "
+                            "here", "");
+    cli.add_option("metrics", "write a Prometheus text-format metrics dump "
+                              "here", "");
     bench::add_backend_options(cli);
     if (!cli.parse(argc, argv)) return 0;
     if (!bench::apply_backend_options(cli)) return 0;
+
+    // Metrics back the adaptive savings summary; tracing only when asked.
+    obs::set_metrics_enabled(true);
+    const auto trace_path = cli.value_optional("trace");
+    const auto metrics_path = cli.value_optional("metrics");
+    if (trace_path) obs::set_tracing_enabled(true);
+    obs::set_provenance("command", "bench_platform_sweep");
 
     const std::vector<std::size_t> sizes =
         str::parse_size_list(cli.value("sizes"), "--sizes");
@@ -188,15 +204,16 @@ int main(int argc, char** argv) try {
                 workers == 0 ? "all" : std::to_string(workers).c_str(),
                 str::human_seconds(measure_seconds).c_str());
     if (adaptive) {
-        std::size_t total = 0;
-        std::size_t fixed = 0;
-        for (const core::AnalysisResult& result : results) {
-            total += result.measurements.total_samples();
-            fixed += result.measurements.size() * n;
-        }
+        // The registry counters were fed by the engine as the campaigns
+        // ran (--verify re-runs would double-feed them, but adaptive +
+        // --verify is rejected above); reading them here keeps this line
+        // and a --metrics dump mutually consistent by construction.
+        const obs::Metrics& m = obs::metrics();
         std::printf("adaptive (min %zu, batch %zu, stability %zu): %s\n",
                     adaptive_min, adaptive_batch, adaptive_stability,
-                    core::render_savings(total, fixed).c_str());
+                    core::render_savings(m.samples_total.value(),
+                                         m.samples_fixed_n_total.value())
+                        .c_str());
     }
 
     if (const auto csv_path = cli.value_optional("csv")) {
@@ -222,6 +239,23 @@ int main(int argc, char** argv) try {
         "gains from offloading anything sizable despite its slow link, the\n"
         "smartphone's mobile GPU only pays off for the large task, and the\n"
         "symmetric CPU pair clusters every split together.\n");
+
+    if (trace_path) {
+        obs::write_trace_json(*trace_path);
+        std::printf("trace written to %s (%zu events)\n", trace_path->c_str(),
+                    obs::trace_event_count());
+    }
+    if (metrics_path) {
+        std::ofstream out(*metrics_path);
+        out << obs::registry().render_prometheus();
+        out.close();
+        if (!out) {
+            std::fprintf(stderr, "error: failed writing metrics to %s\n",
+                         metrics_path->c_str());
+            return 1;
+        }
+        std::printf("metrics written to %s\n", metrics_path->c_str());
+    }
     return 0;
 } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

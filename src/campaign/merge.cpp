@@ -2,6 +2,8 @@
 
 #include "campaign/runner.hpp"
 #include "campaign/sharder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 
@@ -13,6 +15,10 @@ core::MeasurementSet merge_shards(const CampaignSpec& spec,
                                   const std::vector<ShardResult>& shards) {
     spec.validate();
     RELPERF_REQUIRE(!shards.empty(), "merge_shards: no shards to merge");
+
+    obs::Span span("campaign.merge", "campaign");
+    span.arg("shards", static_cast<std::uint64_t>(shards.size()));
+    obs::metrics().shard_merges_total.inc();
 
     const std::uint64_t expected_hash = spec.hash();
     const std::size_t shard_count = shards.front().manifest.shard_count;

@@ -2,6 +2,10 @@
 
 #include "campaign/sharder.hpp"
 #include "linalg/backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/provenance.hpp"
+#include "obs/trace.hpp"
 #include "sim/analytic.hpp"
 #include "sim/executor.hpp"
 #include "sim/real_executor.hpp"
@@ -83,6 +87,13 @@ ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
     const std::size_t count = effective_shard_count(spec, shard_count);
     const Sharder sharder(spec.variants().size(), count);
 
+    obs::Span span("shard.run", "campaign");
+    span.arg("shard", static_cast<std::uint64_t>(shard_index))
+        .arg("of", static_cast<std::uint64_t>(count));
+    const obs::ScopedHistogramTimer shard_timer(
+        obs::metrics().shard_seconds);
+    obs::metrics().shards_total.inc();
+
     ShardResult result;
     result.manifest.spec_hash = spec.hash();
     result.manifest.shard_index = shard_index;
@@ -91,6 +102,11 @@ ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
     result.manifest.host = host_name();
     result.manifest.backend = spec.backend;
     result.manifest.variant_backends = spec.variant_backends;
+    // The provenance record is a pure function of build + host + spec, so
+    // attaching it keeps shard files byte-identical with obs on or off.
+    for (const obs::ProvenanceEntry& e : obs::provenance()) {
+        result.manifest.provenance.emplace_back(e.key, e.value);
+    }
     if (spec.adaptive()) {
         result.manifest.adaptive_min = spec.adaptive_min;
         result.manifest.adaptive_batch = spec.adaptive_batch;
@@ -127,14 +143,17 @@ std::vector<ShardResult> LocalShardRunner::run(const CampaignSpec& spec,
         spec.executor == ExecutorKind::Real ? 1 : std::min(workers_, count);
 
     std::vector<ShardResult> results(count);
+    obs::report_progress("shards", 0, count);
     if (threads <= 1) {
         for (std::size_t i = 0; i < count; ++i) {
             results[i] = run_shard(spec, i, count);
+            obs::report_progress("shards", i + 1, count);
         }
         return results;
     }
 
     std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
     std::exception_ptr first_error;
     std::mutex error_mutex;
     std::vector<std::thread> pool;
@@ -146,6 +165,8 @@ std::vector<ShardResult> LocalShardRunner::run(const CampaignSpec& spec,
                 if (i >= count) return;
                 try {
                     results[i] = run_shard(spec, i, count);
+                    obs::report_progress("shards", done.fetch_add(1) + 1,
+                                         count);
                 } catch (...) {
                     const std::lock_guard<std::mutex> lock(error_mutex);
                     if (!first_error) first_error = std::current_exception();

@@ -64,6 +64,23 @@ void write_shard_csv(const ShardResult& shard, const std::string& path) {
     out << "# shard_index = " << m.shard_index << '\n';
     out << "# shard_count = " << m.shard_count << '\n';
     out << "# host = " << m.host << '\n';
+    // Informational, like host. Values are sanitized by the obs layer
+    // (never contain ';', '=' or newlines); skip any that slip through so
+    // the single-line encoding stays parseable.
+    if (!m.provenance.empty()) {
+        std::vector<std::string> facts;
+        facts.reserve(m.provenance.size());
+        for (const auto& [key, value] : m.provenance) {
+            if (key.find_first_of("=;\n") != std::string::npos ||
+                value.find_first_of("=;\n") != std::string::npos) {
+                continue;
+            }
+            facts.push_back(key + "=" + value);
+        }
+        if (!facts.empty()) {
+            out << "# provenance = " << str::join(facts, ";") << '\n';
+        }
+    }
     out << "# backend = " << m.backend << '\n';
     // Only written for per-task-variant campaigns: plain campaigns keep the
     // exact pre-variant file form.
@@ -166,6 +183,14 @@ ShardResult read_shard_csv(const std::string& path) {
             } else if (key == "samples_per_algorithm") {
                 out.manifest.samples_per_algorithm =
                     str::parse_size_list(value, key);
+            } else if (key == "provenance") {
+                for (const std::string& fact : str::split(value, ';')) {
+                    const std::size_t sep = fact.find('=');
+                    if (sep == std::string::npos) continue;
+                    out.manifest.provenance.emplace_back(
+                        std::string(str::trim(fact.substr(0, sep))),
+                        std::string(str::trim(fact.substr(sep + 1))));
+                }
             }
             // Unknown keys are ignored: forward compatibility for future
             // manifest fields.

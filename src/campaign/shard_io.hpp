@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace relperf::campaign {
@@ -53,6 +54,11 @@ struct ShardManifest {
     /// implied by the plan — and cross-checked against the CSV rows on read,
     /// so a truncated or hand-edited file dies before it reaches a merge.
     std::vector<std::size_t> samples_per_algorithm;
+    /// Run provenance record of the producing process (`# provenance =
+    /// key=value;key=value`, see obs/provenance.hpp). Informational, like
+    /// `host`: a merge never validates it, and files from before the obs
+    /// layer carry no line and read back empty.
+    std::vector<std::pair<std::string, std::string>> provenance;
 };
 
 /// One shard's manifest plus its measured distributions (the algorithms of

@@ -1,5 +1,6 @@
 #include "core/bootstrap_comparator.hpp"
 
+#include "obs/metrics.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/descriptive.hpp"
 #include "support/error.hpp"
@@ -26,6 +27,10 @@ BootstrapComparator::BootstrapComparator(BootstrapComparatorConfig config)
 double BootstrapComparator::score(std::span<const double> a, std::span<const double> b,
                                   stats::Rng& rng) const {
     RELPERF_REQUIRE(!a.empty() && !b.empty(), "BootstrapComparator: empty sample");
+
+    // Counter only, no span: score() sits inside the clusterer's sort inner
+    // loop, where even an unarmed span's ctor/dtor pair would be noise.
+    obs::metrics().bootstrap_resamples_total.inc(2 * config_.rounds);
 
     std::vector<double> res_a;
     std::vector<double> res_b;

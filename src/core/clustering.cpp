@@ -1,5 +1,7 @@
 #include "core/clustering.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 #include <algorithm>
@@ -54,6 +56,10 @@ RankedSequence RelativeClusterer::sort_once_traced(const MeasurementSet& measure
 Clustering RelativeClusterer::cluster(const MeasurementSet& measurements) const {
     RELPERF_REQUIRE(!measurements.empty(), "RelativeClusterer: no algorithms");
     const std::size_t p = measurements.size();
+    obs::Span span("clusterer.cluster", "core");
+    span.arg("algorithms", static_cast<std::uint64_t>(p))
+        .arg("repetitions", static_cast<std::uint64_t>(config_.repetitions));
+    obs::metrics().clusterings_total.inc();
     const stats::Rng master(config_.seed);
 
     // counts[alg][rank-1] = number of repetitions assigning `rank` to `alg`.

@@ -1,5 +1,8 @@
 #include "core/measurement_engine.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 
@@ -74,10 +77,14 @@ std::vector<double> RealSampleSource::draw(std::size_t index, std::size_t n) {
 MeasurementSet measure_all(SampleSource& source, std::size_t n) {
     RELPERF_REQUIRE(source.count() > 0, "measure_all: empty sample source");
     RELPERF_REQUIRE(n > 0, "measure_all: need at least one measurement");
+    obs::Span span("measure_all", "core");
+    span.arg("algorithms", static_cast<std::uint64_t>(source.count()))
+        .arg("n", static_cast<std::uint64_t>(n));
     MeasurementSet set;
     for (std::size_t i = 0; i < source.count(); ++i) {
         set.add(source.name(i), source.draw(i, n));
     }
+    obs::metrics().samples_total.inc(source.count() * n);
     return set;
 }
 
@@ -105,8 +112,19 @@ MeasurementEngine::MeasurementEngine(AdaptiveConfig adaptive,
 
 EngineResult MeasurementEngine::run(SampleSource& source) const {
     const std::size_t count = source.count();
+    obs::Span span("engine.run", "engine");
+    span.arg("algorithms", static_cast<std::uint64_t>(count))
+        .arg("min_n", static_cast<std::uint64_t>(adaptive_.min_n))
+        .arg("max_n", static_cast<std::uint64_t>(adaptive_.max_n))
+        .arg("batch", static_cast<std::uint64_t>(adaptive_.batch));
+    // A round is one clustering consulted; the extension rounds beyond the
+    // first add at most batch samples each, which bounds the meter.
+    const std::size_t max_rounds =
+        1 + (adaptive_.max_n - adaptive_.min_n + adaptive_.batch - 1) /
+                adaptive_.batch;
     EngineResult out;
     out.fixed_n_samples = count * adaptive_.max_n;
+    obs::metrics().samples_fixed_n_total.inc(out.fixed_n_samples);
     out.measurements = measure_all(source, adaptive_.min_n);
     out.samples_per_alg.assign(count, adaptive_.min_n);
     out.rounds = 1;
@@ -118,6 +136,9 @@ EngineResult MeasurementEngine::run(SampleSource& source) const {
     std::vector<bool> stopped(count, false);
     std::vector<int> previous_rank;
     while (true) {
+        obs::Span round_span("engine.round", "engine");
+        obs::metrics().adaptive_rounds.inc();
+        obs::report_progress("engine.round", out.rounds, max_rounds);
         Clustering clustering = clusterer.cluster(out.measurements);
         std::vector<int> rank(count);
         for (std::size_t i = 0; i < count; ++i) {
@@ -144,19 +165,25 @@ EngineResult MeasurementEngine::run(SampleSource& source) const {
             }
             extend.push_back(i);
         }
+        round_span.arg("round", static_cast<std::uint64_t>(out.rounds))
+            .arg("extending", static_cast<std::uint64_t>(extend.size()))
+            .arg("stopped", static_cast<std::uint64_t>(count - extend.size()));
         if (extend.empty()) {
             // The clustering of the final measurements — exactly what
             // analyze_measurements would compute on them.
             out.clustering = std::move(clustering);
             break;
         }
+        std::size_t extended_samples = 0;
         for (const std::size_t i : extend) {
             const std::size_t n =
                 std::min(adaptive_.batch, adaptive_.max_n - out.samples_per_alg[i]);
             const std::vector<double> fresh = source.draw(i, n);
             out.measurements.extend(i, fresh);
             out.samples_per_alg[i] += fresh.size();
+            extended_samples += fresh.size();
         }
+        obs::metrics().samples_total.inc(extended_samples);
         ++out.rounds;
     }
 

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace relperf::core {
@@ -37,6 +38,7 @@ MeasurementSet measure_assignments(
     RELPERF_REQUIRE(!assignments.empty(), "measure_assignments: no assignments");
     SimSampleSource source(executor, chain, to_variants(assignments),
                            child_streams(rng));
+    obs::metrics().samples_fixed_n_total.inc(assignments.size() * n);
     return measure_all(source, n);
 }
 
@@ -47,6 +49,7 @@ MeasurementSet measure_assignments_real(
     RELPERF_REQUIRE(!assignments.empty(), "measure_assignments_real: no assignments");
     RealSampleSource source(executor, chain, to_variants(assignments),
                             child_streams(rng), warmup);
+    obs::metrics().samples_fixed_n_total.inc(assignments.size() * n);
     return measure_all(source, n);
 }
 
@@ -56,6 +59,7 @@ MeasurementSet measure_variants(
     stats::Rng& rng) {
     RELPERF_REQUIRE(!variants.empty(), "measure_variants: no variants");
     SimSampleSource source(executor, chain, variants, child_streams(rng));
+    obs::metrics().samples_fixed_n_total.inc(variants.size() * n);
     return measure_all(source, n);
 }
 
@@ -66,6 +70,7 @@ MeasurementSet measure_variants_real(
     RELPERF_REQUIRE(!variants.empty(), "measure_variants_real: no variants");
     RealSampleSource source(executor, chain, variants, child_streams(rng),
                             warmup);
+    obs::metrics().samples_fixed_n_total.inc(variants.size() * n);
     return measure_all(source, n);
 }
 

@@ -1,0 +1,23 @@
+#include "obs/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace relperf::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_clock_reads{0};
+} // namespace
+
+std::uint64_t now_micros() noexcept {
+    g_clock_reads.fetch_add(1, std::memory_order_relaxed);
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t).count());
+}
+
+std::uint64_t clock_reads() noexcept {
+    return g_clock_reads.load(std::memory_order_relaxed);
+}
+
+} // namespace relperf::obs

@@ -1,0 +1,21 @@
+#pragma once
+//! \file clock.hpp
+//! The observability clock. This is the ONLY clock the obs layer reads,
+//! and src/obs/clock.cpp is the only obs TU allowed to touch
+//! std::chrono — it carries the justified banned-clock allowlist entry in
+//! ci/lint_allow.txt. Timestamps from here feed trace spans and the shard
+//! duration histogram exclusively; they never enter measurement CSVs.
+
+#include <cstdint>
+
+namespace relperf::obs {
+
+/// Microseconds on a monotonic clock (arbitrary epoch — deltas and trace
+/// timeline ordering only).
+[[nodiscard]] std::uint64_t now_micros() noexcept;
+
+/// Number of now_micros() calls this process has made. Lets the disabled
+/// path be tested for "zero clock reads" without mocking the clock.
+[[nodiscard]] std::uint64_t clock_reads() noexcept;
+
+} // namespace relperf::obs

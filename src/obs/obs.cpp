@@ -1,0 +1,60 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+namespace relperf::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<bool> g_metrics{false};
+std::atomic<bool> g_progress_armed{false};
+
+std::mutex& progress_mutex() {
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::function<void(const Progress&)>& progress_sink() {
+    static std::function<void(const Progress&)> sink;
+    return sink;
+}
+
+} // namespace
+
+bool tracing_enabled() noexcept {
+    return g_tracing.load(std::memory_order_relaxed);
+}
+
+bool metrics_enabled() noexcept {
+    return g_metrics.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) noexcept {
+    g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept {
+    g_metrics.store(on, std::memory_order_relaxed);
+}
+
+void set_progress_sink(std::function<void(const Progress&)> sink) {
+    const std::lock_guard<std::mutex> lock(progress_mutex());
+    const bool armed = static_cast<bool>(sink);
+    progress_sink() = std::move(sink);
+    // Arm only after the sink is in place (report_progress re-checks under
+    // the lock, so a racing reporter can never call a half-installed sink).
+    g_progress_armed.store(armed, std::memory_order_release);
+}
+
+void report_progress(const char* stage, std::size_t done, std::size_t total) {
+    if (!g_progress_armed.load(std::memory_order_relaxed)) return;
+    const std::lock_guard<std::mutex> lock(progress_mutex());
+    const std::function<void(const Progress&)>& sink = progress_sink();
+    if (!sink) return;
+    sink(Progress{stage, done, total});
+}
+
+} // namespace relperf::obs

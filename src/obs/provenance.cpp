@@ -1,0 +1,94 @@
+#include "obs/provenance.hpp"
+
+#include "support/error.hpp"
+
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define RELPERF_OBS_HAVE_POSIX 1
+#else
+#define RELPERF_OBS_HAVE_POSIX 0
+#endif
+
+namespace relperf::obs {
+
+namespace {
+
+std::string sanitize_value(const std::string& v) {
+    std::string out = v;
+    for (char& c : out) {
+        if (c == ';' || c == '=' || c == '\n' || c == '\r') c = ' ';
+    }
+    return out;
+}
+
+std::string obs_host_name() {
+#if RELPERF_OBS_HAVE_POSIX
+    char buf[256] = {};
+    if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+        return buf;
+    }
+#endif
+    return "unknown";
+}
+
+std::vector<ProvenanceEntry> builtin_entries() {
+    std::vector<ProvenanceEntry> out;
+    out.push_back({"host", obs_host_name()});
+#ifdef RELPERF_OBS_BUILD_TYPE
+    out.push_back({"build", sanitize_value(RELPERF_OBS_BUILD_TYPE)});
+#else
+    out.push_back({"build", "unknown"});
+#endif
+#ifdef RELPERF_OBS_SANITIZE
+    out.push_back({"sanitize", sanitize_value(RELPERF_OBS_SANITIZE)});
+#else
+    out.push_back({"sanitize", "none"});
+#endif
+#ifdef _OPENMP
+    out.push_back({"openmp", "on"});
+#else
+    out.push_back({"openmp", "off"});
+#endif
+    return out;
+}
+
+std::mutex g_mutex;
+
+std::vector<ProvenanceEntry>& user_entries() {
+    static std::vector<ProvenanceEntry> entries;
+    return entries;
+}
+
+} // namespace
+
+std::vector<ProvenanceEntry> provenance() {
+    // Built-ins are host/build facts: computing them fresh per snapshot
+    // keeps this function free of initialization-order traps, and it is
+    // never on a hot path.
+    std::vector<ProvenanceEntry> out = builtin_entries();
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    for (const ProvenanceEntry& e : user_entries()) out.push_back(e);
+    return out;
+}
+
+void set_provenance(const std::string& key, const std::string& value) {
+    RELPERF_REQUIRE(!key.empty(), "provenance: key must be non-empty");
+    const std::string clean = sanitize_value(value);
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    for (ProvenanceEntry& e : user_entries()) {
+        if (e.key == key) {
+            e.value = clean;
+            return;
+        }
+    }
+    user_entries().push_back({key, clean});
+}
+
+void clear_provenance() {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    user_entries().clear();
+}
+
+} // namespace relperf::obs

@@ -1,0 +1,34 @@
+#pragma once
+//! \file provenance.hpp
+//! The run provenance record: which host, build and plan produced an
+//! output. Rendered into the trace JSON ("otherData"), the Prometheus dump
+//! (relperf_build_info) and campaign shard manifests ("# provenance =").
+//!
+//! Built-in facts (host, build type, openmp, sanitizers) are collected
+//! once; callers add run-specific facts (spec name, plan hash, backend
+//! set, adaptive config) via set_provenance(). Order is deterministic:
+//! built-ins first, then user keys in insertion order.
+
+#include <string>
+#include <vector>
+
+namespace relperf::obs {
+
+/// One provenance fact.
+struct ProvenanceEntry {
+    std::string key;
+    std::string value;
+};
+
+/// Snapshot of the record (built-ins + user entries, deterministic order).
+[[nodiscard]] std::vector<ProvenanceEntry> provenance();
+
+/// Inserts or overwrites a user entry. Keys must be non-empty; newlines,
+/// ';' and '=' in values are replaced with spaces so the record embeds
+/// losslessly in single-line manifest comments.
+void set_provenance(const std::string& key, const std::string& value);
+
+/// Drops all user entries (built-ins stay). Test-only affordance.
+void clear_provenance();
+
+} // namespace relperf::obs

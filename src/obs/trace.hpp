@@ -1,0 +1,77 @@
+#pragma once
+//! \file trace.hpp
+//! RAII scoped spans recording Chrome trace-event JSON ("X" complete
+//! events, loadable in chrome://tracing or ui.perfetto.dev).
+//!
+//! A Span checks tracing_enabled() once at construction. Disabled spans
+//! are inert: no allocation, no clock read, every arg() call a no-op
+//! (tests/obs/noop_test.cpp asserts this). Enabled spans time themselves
+//! with the obs clock and push one event into the process-wide buffer at
+//! destruction. Events are buffered in completion order, which is
+//! deterministic for a deterministic program (timestamps aside) —
+//! tests/obs/trace_test.cpp asserts two identical sim runs produce the
+//! same event sequence.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace relperf::obs {
+
+/// One completed span, as buffered. `args` values are pre-rendered JSON
+/// tokens (quoted+escaped strings, bare numbers).
+struct TraceEvent {
+    std::string name;
+    std::string cat;
+    std::uint64_t ts_us = 0;
+    std::uint64_t dur_us = 0;
+    std::uint32_t tid = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// RAII scoped span. `name` and `cat` must be string literals (or outlive
+/// the span); they are copied only when tracing is enabled.
+class Span {
+public:
+    Span(const char* name, const char* cat);
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// True when this span records (tracing was enabled at construction).
+    /// Guard arg-value computations that themselves allocate.
+    [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+    Span& arg(const char* key, std::uint64_t v);
+    Span& arg(const char* key, double v);
+    Span& arg(const char* key, std::string_view v);
+
+private:
+    bool armed_;
+    std::uint64_t start_us_ = 0;
+    TraceEvent event_;
+};
+
+/// Drops all buffered events (tests and long-lived processes).
+void clear_trace();
+
+/// Number of buffered events (dropped-on-overflow ones excluded).
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Events dropped because the buffer hit its cap.
+[[nodiscard]] std::uint64_t trace_events_dropped();
+
+/// Snapshot of the buffered events.
+[[nodiscard]] std::vector<TraceEvent> trace_events();
+
+/// The full Chrome trace JSON object: {"traceEvents": [...], "otherData":
+/// {...provenance...}}. One event per line, fields in fixed order.
+[[nodiscard]] std::string render_trace_json();
+
+/// Renders and writes the trace to `path`; throws relperf::Error on IO
+/// failure.
+void write_trace_json(const std::string& path);
+
+} // namespace relperf::obs

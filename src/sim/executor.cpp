@@ -1,5 +1,7 @@
 #include "sim/executor.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace relperf::sim {
@@ -70,6 +72,13 @@ std::vector<double> SimulatedExecutor::measure(const workloads::TaskChain& chain
                                                const workloads::VariantAssignment& variant,
                                                std::size_t n, stats::Rng& rng) const {
     RELPERF_REQUIRE(n > 0, "SimulatedExecutor: need at least one measurement");
+    obs::Span span("sim.measure", "executor");
+    if (span.armed()) {
+        // alg_name() allocates; build it only when the span records.
+        span.arg("alg", variant.alg_name());
+    }
+    span.arg("n", static_cast<std::uint64_t>(n));
+    obs::metrics().executions_total.inc(n);
     std::vector<double> samples;
     samples.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {

@@ -2,6 +2,8 @@
 
 #include "linalg/backend.hpp"
 #include "linalg/gemm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "workloads/mathtask.hpp"
 #include "workloads/task.hpp"
@@ -126,6 +128,13 @@ std::vector<double> RealExecutor::measure(const workloads::TaskChain& chain,
                                           std::size_t n, stats::Rng& rng,
                                           std::size_t warmup) const {
     RELPERF_REQUIRE(n > 0, "RealExecutor: need at least one measurement");
+    // The span brackets the whole batch (warmup included) from outside the
+    // per-sample steady_clock reads, so enabling tracing perturbs no sample.
+    obs::Span span("real.measure", "executor");
+    if (span.armed()) span.arg("alg", variant.alg_name());
+    span.arg("n", static_cast<std::uint64_t>(n))
+        .arg("warmup", static_cast<std::uint64_t>(warmup));
+    obs::metrics().executions_total.inc(n + warmup);
     // Warmup runs are hoisted onto their own stream, derived from the
     // measurement stream's seed but never advancing it: the measured values
     // consume the identical stream prefix for every warmup count, so warmup

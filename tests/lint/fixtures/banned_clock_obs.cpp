@@ -1,0 +1,13 @@
+// Fixture: the obs-clock idiom — one steady_clock read behind a single
+// function, the way src/obs/clock.cpp wraps the trace timestamp source
+// (never compiled — lint input only). fixture_allow.txt allowlists it the
+// way the real obs clock is allowlisted in ci/lint_allow.txt.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t obs_now_micros() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch()) // line 11
+            .count());
+}

@@ -94,6 +94,11 @@ TEST(BannedClock, CleanFixtureIsQuiet) {
     EXPECT_TRUE(lint_fixture("banned_clock_clean.cpp").empty());
 }
 
+TEST(BannedClock, ObsClockFixtureFiresOnItsSingleReadSite) {
+    expect_exact(lint_fixture("banned_clock_obs.cpp"),
+                 {{11, "banned-clock", "steady_clock::now"}});
+}
+
 TEST(UnorderedOutput, FixtureViolationsExactLines) {
     const std::vector<lint::Diagnostic> diags =
         lint_fixture("unordered_output_bad.cpp");
@@ -150,11 +155,13 @@ TEST(Allowlist, SuppressesByFileSuffixAndSubjectWithoutStaleEntries) {
     const lint::LintResult result =
         lint::lint_paths(fixture_dir(), {"."}, allow);
 
-    // All banned_clock_bad.cpp diagnostics suppressed by the file entry;
-    // both fixture specs' 'campaign' fields suppressed by the subject entry.
-    EXPECT_EQ(result.allowed.size(), 8u);
+    // All banned_clock_bad.cpp and banned_clock_obs.cpp diagnostics
+    // suppressed by their file entries; both fixture specs' 'campaign'
+    // fields suppressed by the subject entry.
+    EXPECT_EQ(result.allowed.size(), 9u);
     for (const lint::Diagnostic& d : result.allowed) {
         EXPECT_TRUE(d.file == "banned_clock_bad.cpp" ||
+                    d.file == "banned_clock_obs.cpp" ||
                     d.subject == "campaign")
             << d.str();
     }
@@ -219,13 +226,19 @@ TEST(RealTree, LintsCleanUnderTheCommittedAllowlist) {
         return out.str();
     }();
     // The sanctioned timing sites really are being suppressed (not silently
-    // absent): RealExecutor's clock reads must show up as allowlisted.
+    // absent): RealExecutor's and the obs clock's reads must show up as
+    // allowlisted.
     bool real_executor_suppressed = false;
+    bool obs_clock_suppressed = false;
     for (const lint::Diagnostic& d : result.allowed) {
         if (d.file == "src/sim/real_executor.cpp" &&
             d.rule == "banned-clock") {
             real_executor_suppressed = true;
         }
+        if (d.file == "src/obs/clock.cpp" && d.rule == "banned-clock") {
+            obs_clock_suppressed = true;
+        }
     }
     EXPECT_TRUE(real_executor_suppressed);
+    EXPECT_TRUE(obs_clock_suppressed);
 }

@@ -1,0 +1,148 @@
+//! The disabled-path contract: with tracing and metrics off, instrumented
+//! code pays one relaxed atomic load — no heap allocation, no clock read.
+//! Global operator new/delete are overridden here to count allocations, so
+//! this test asserts the claim directly instead of trusting the comments.
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace obs = relperf::obs;
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+std::uint64_t allocations() {
+    return g_allocations.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+// Counting overrides. Kept deliberately simple: every allocation in the
+// process goes through here, and the tests only ever compare deltas around
+// tight regions they control.
+void* operator new(std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+    std::free(p);
+}
+
+namespace {
+
+class NoopTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::set_tracing_enabled(false);
+        obs::set_metrics_enabled(false);
+        obs::clear_trace();
+        // Registering the well-known handles allocates once per process;
+        // warm it here so the measured regions see a settled registry.
+        (void)obs::metrics();
+        obs::registry().reset_values();
+    }
+    void TearDown() override {
+        obs::set_tracing_enabled(false);
+        obs::set_metrics_enabled(false);
+        obs::clear_trace();
+        obs::registry().reset_values();
+    }
+};
+
+} // namespace
+
+TEST_F(NoopTest, DisabledSpanAllocatesNothingAndNeverReadsTheClock) {
+    const obs::Metrics& m = obs::metrics();
+
+    const std::uint64_t allocs_before = allocations();
+    const std::uint64_t clocks_before = obs::clock_reads();
+
+    for (int i = 0; i < 1000; ++i) {
+        obs::Span span("noop.span", "test");
+        span.arg("i", static_cast<std::uint64_t>(i))
+            .arg("ratio", 0.5)
+            .arg("label", "disabled");
+        m.samples_total.inc(17);
+        m.shard_seconds.observe(1.5);
+        obs::report_progress("noop", static_cast<std::size_t>(i), 1000);
+    }
+
+    const std::uint64_t allocs_after = allocations();
+    const std::uint64_t clocks_after = obs::clock_reads();
+
+    EXPECT_EQ(allocs_after - allocs_before, 0u)
+        << "disabled obs path must not allocate";
+    EXPECT_EQ(clocks_after - clocks_before, 0u)
+        << "disabled obs path must not read the clock";
+    EXPECT_EQ(m.samples_total.value(), 0u);
+    EXPECT_EQ(m.shard_seconds.count(), 0u);
+    EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST_F(NoopTest, EnabledSpanDoesReadTheClock) {
+    obs::set_tracing_enabled(true);
+    const std::uint64_t clocks_before = obs::clock_reads();
+    {
+        const obs::Span span("armed.span", "test");
+    }
+    obs::set_tracing_enabled(false);
+    // One read at construction, one at destruction.
+    EXPECT_EQ(obs::clock_reads() - clocks_before, 2u);
+    EXPECT_EQ(obs::trace_event_count(), 1u);
+}
+
+TEST_F(NoopTest, EnabledCounterStillAllocatesNothing) {
+    obs::set_metrics_enabled(true);
+    const obs::Metrics& m = obs::metrics();
+
+    const std::uint64_t allocs_before = allocations();
+    for (int i = 0; i < 1000; ++i) {
+        m.samples_total.inc();
+        m.shard_seconds.observe(0.25);
+    }
+    const std::uint64_t allocs_after = allocations();
+
+    EXPECT_EQ(allocs_after - allocs_before, 0u)
+        << "counter/histogram updates are lock-free atomics, no heap";
+    EXPECT_EQ(m.samples_total.value(), 1000u);
+    EXPECT_EQ(m.shard_seconds.count(), 1000u);
+}
+
+TEST_F(NoopTest, UninstalledProgressSinkIsInert) {
+    const std::uint64_t allocs_before = allocations();
+    for (int i = 0; i < 1000; ++i) {
+        obs::report_progress("stage", static_cast<std::size_t>(i), 1000);
+    }
+    EXPECT_EQ(allocations() - allocs_before, 0u);
+
+    // And an installed sink actually receives ticks.
+    std::size_t ticks = 0;
+    obs::set_progress_sink([&ticks](const obs::Progress& p) {
+        ++ticks;
+        EXPECT_LE(p.done, p.total);
+    });
+    obs::report_progress("stage", 1, 2);
+    obs::report_progress("stage", 2, 2);
+    obs::set_progress_sink({});
+    obs::report_progress("stage", 3, 4);
+    EXPECT_EQ(ticks, 2u);
+}

@@ -1,0 +1,279 @@
+//! The trace layer: disabled spans record nothing, enabled spans capture
+//! name/cat/args, render_trace_json emits valid JSON with the documented
+//! shape, and two identical engine runs produce the same event sequence
+//! (the determinism the Chrome-trace diffing workflow relies on).
+#include "obs/trace.hpp"
+
+#include "core/measurement_engine.hpp"
+#include "obs/obs.hpp"
+#include "obs/provenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace obs = relperf::obs;
+namespace core = relperf::core;
+
+namespace {
+
+class TraceTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::set_tracing_enabled(false);
+        obs::set_metrics_enabled(false);
+        obs::clear_trace();
+        obs::clear_provenance();
+    }
+    void TearDown() override { SetUp(); }
+};
+
+/// Minimal recursive-descent JSON validator — enough to prove the trace
+/// output parses as one well-formed value, with no JSON library dependency.
+class JsonChecker {
+public:
+    explicit JsonChecker(std::string_view text) : text_(text) {}
+
+    [[nodiscard]] bool valid() {
+        skip_ws();
+        return value() && (skip_ws(), pos_ == text_.size());
+    }
+
+private:
+    bool value() {
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+    bool object() {
+        ++pos_; // '{'
+        skip_ws();
+        if (peek() == '}') { ++pos_; return true; }
+        while (true) {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+    bool array() {
+        ++pos_; // '['
+        skip_ws();
+        if (peek() == ']') { ++pos_; return true; }
+        while (true) {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+    bool string() {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                if (pos_ + 1 >= text_.size()) return false;
+                ++pos_;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size()) return false;
+        ++pos_; // closing quote
+        return true;
+    }
+    bool number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+            ++pos_;
+        }
+    }
+    [[nodiscard]] char peek() const {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+/// Same scripted distributions as metrics_test: separable, deterministic.
+class ScriptedSource final : public core::SampleSource {
+public:
+    explicit ScriptedSource(std::size_t count) : drawn_(count, 0) {}
+
+    [[nodiscard]] std::size_t count() const override { return drawn_.size(); }
+    [[nodiscard]] std::string name(std::size_t index) const override {
+        return "alg" + std::to_string(index);
+    }
+    [[nodiscard]] std::vector<double> draw(std::size_t index,
+                                           std::size_t n) override {
+        std::vector<double> out;
+        out.reserve(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t global = drawn_[index] + k;
+            out.push_back(static_cast<double>(index + 1) *
+                          (1.0 + 0.001 * static_cast<double>(global % 7)));
+        }
+        drawn_[index] += n;
+        return out;
+    }
+
+private:
+    std::vector<std::size_t> drawn_;
+};
+
+/// The order- and content-carrying part of an event: everything except
+/// timestamps and durations, which legitimately differ between runs.
+std::vector<std::string> event_signatures() {
+    std::vector<std::string> out;
+    for (const obs::TraceEvent& e : obs::trace_events()) {
+        std::string sig = e.name + "|" + e.cat;
+        for (const auto& [key, value] : e.args) {
+            sig += "|" + key + "=" + value;
+        }
+        out.push_back(std::move(sig));
+    }
+    return out;
+}
+
+std::vector<std::string> traced_engine_run() {
+    obs::clear_trace();
+    obs::set_tracing_enabled(true);
+    core::AdaptiveConfig adaptive;
+    adaptive.min_n = 6;
+    adaptive.max_n = 20;
+    adaptive.batch = 4;
+    const core::MeasurementEngine engine(adaptive);
+    ScriptedSource source(3);
+    (void)engine.run(source);
+    obs::set_tracing_enabled(false);
+    return event_signatures();
+}
+
+} // namespace
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+    {
+        obs::Span span("quiet", "test");
+        span.arg("k", std::uint64_t{1}).arg("s", "value");
+        EXPECT_FALSE(span.armed());
+    }
+    EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, EnabledSpanCapturesNameCatAndArgs) {
+    obs::set_tracing_enabled(true);
+    {
+        obs::Span span("loud", "test");
+        EXPECT_TRUE(span.armed());
+        span.arg("n", std::uint64_t{42})
+            .arg("ratio", 0.5)
+            .arg("label", "a \"b\"\n");
+    }
+    obs::set_tracing_enabled(false);
+
+    const std::vector<obs::TraceEvent> events = obs::trace_events();
+    ASSERT_EQ(events.size(), 1u);
+    const obs::TraceEvent& e = events[0];
+    EXPECT_EQ(e.name, "loud");
+    EXPECT_EQ(e.cat, "test");
+    ASSERT_EQ(e.args.size(), 3u);
+    EXPECT_EQ(e.args[0].first, "n");
+    EXPECT_EQ(e.args[0].second, "42");
+    EXPECT_EQ(e.args[1].first, "ratio");
+    EXPECT_EQ(e.args[1].second, "0.5");
+    EXPECT_EQ(e.args[2].first, "label");
+    EXPECT_EQ(e.args[2].second, "\"a \\\"b\\\"\\n\"");
+}
+
+TEST_F(TraceTest, RenderedJsonIsWellFormedWithProvenanceAndEscaping) {
+    obs::set_provenance("command", "trace_test \"quoted\"\tvalue");
+    obs::set_tracing_enabled(true);
+    {
+        obs::Span outer("outer", "test");
+        outer.arg("note", "needs \\escaping\"");
+        const obs::Span inner("inner", "test");
+    }
+    obs::set_tracing_enabled(false);
+
+    const std::string json = obs::render_trace_json();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+
+    // Inner spans complete first, so the buffer is in completion order.
+    EXPECT_NE(json.find("{\"name\":\"inner\",\"cat\":\"test\",\"ph\":\"X\""),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"name\":\"outer\",\"cat\":\"test\",\"ph\":\"X\""),
+              std::string::npos);
+    EXPECT_LT(json.find("\"name\":\"inner\""), json.find("\"name\":\"outer\""));
+    EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+    EXPECT_NE(json.find("\"command\":\"trace_test \\\"quoted\\\"\\tvalue\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceStillRendersValidJson) {
+    const std::string json = obs::render_trace_json();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, IdenticalEngineRunsProduceIdenticalEventSequences) {
+    const std::vector<std::string> first = traced_engine_run();
+    const std::vector<std::string> second = traced_engine_run();
+
+    ASSERT_FALSE(first.empty());
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i], second[i]) << "event " << i;
+    }
+
+    // The instrumented stages all show up.
+    const auto has = [&first](std::string_view name) {
+        for (const std::string& sig : first) {
+            if (sig.rfind(name, 0) == 0) return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(has("engine.run|engine"));
+    EXPECT_TRUE(has("engine.round|engine"));
+    EXPECT_TRUE(has("measure_all|core"));
+    EXPECT_TRUE(has("clusterer.cluster|core"));
+}

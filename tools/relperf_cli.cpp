@@ -39,12 +39,17 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "linalg/backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/provenance.hpp"
+#include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 
 #include <cstdio>
+#include <fstream>
 
 using namespace relperf;
 
@@ -131,6 +136,10 @@ void apply_adaptive_overrides(const support::CliParser& cli,
 
 /// Prints what adaptive early stopping saved against the fixed-N plan and
 /// optionally writes the per-algorithm sample counts CSV (the CI artifact).
+/// The savings line reads the metrics registry — the same counters the
+/// --metrics dump exposes — so the printed number and the exported
+/// relperf_samples_total can never drift apart. Measuring modes feed the
+/// counters from the engine; --merge feeds them at shard ingest.
 void report_adaptive(const campaign::CampaignSpec& spec,
                      const core::MeasurementSet& measurements,
                      const std::optional<std::string>& samples_csv) {
@@ -144,9 +153,10 @@ void report_adaptive(const campaign::CampaignSpec& spec,
                     samples_csv->c_str());
     }
     if (!spec.adaptive()) return;
+    const obs::Metrics& m = obs::metrics();
     std::printf("adaptive: %s\n",
-                core::render_savings(measurements.total_samples(),
-                                     measurements.size() * spec.measurements)
+                core::render_savings(m.samples_total.value(),
+                                     m.samples_fixed_n_total.value())
                     .c_str());
 }
 
@@ -244,6 +254,14 @@ int campaign_merge(const campaign::CampaignSpec& spec, const std::string& patter
     shards.reserve(paths.size());
     for (const std::string& path : paths) {
         shards.push_back(campaign::read_shard_csv(path));
+        // Ingest accounting: the shards were measured elsewhere, so their
+        // cost enters the registry here — the savings line and the
+        // --metrics dump then describe the whole campaign, not this
+        // (measurement-free) merge process.
+        obs::metrics().samples_total.inc(
+            shards.back().measurements.total_samples());
+        obs::metrics().samples_fixed_n_total.inc(
+            shards.back().measurements.size() * spec.measurements);
         std::printf("read %s (shard %zu/%zu, host %s)\n", path.c_str(),
                     shards.back().manifest.shard_index,
                     shards.back().manifest.shard_count,
@@ -335,9 +353,8 @@ int analyze_input(const support::CliParser& cli, const std::string& input) {
     return 0;
 }
 
-} // namespace
-
-int main(int argc, char** argv) try {
+/// Declares every option (parsing happens in main).
+support::CliParser build_cli() {
     support::CliParser cli(
         "relperf — cluster algorithms into performance classes "
         "(Sankaran & Bientinesi 2021)");
@@ -396,12 +413,23 @@ int main(int argc, char** argv) try {
                                 "--adaptive; default 2)", "");
     cli.add_option("samples-csv", "write the per-algorithm sample counts CSV "
                                   "here (campaign modes)", "");
+    cli.add_option("trace", "write a Chrome trace-event JSON of this run "
+                            "here (open in chrome://tracing or "
+                            "ui.perfetto.dev)", "");
+    cli.add_option("metrics", "write a Prometheus text-format metrics dump "
+                              "here", "");
+    cli.add_flag("progress", "live progress meter on stderr (campaign "
+                             "modes)");
     cli.add_option("cluster-diff", "compare two clustering CSVs 'old.csv,"
                                    "new.csv' by performance-class membership; "
                                    "exits non-zero when membership changed",
                    "");
-    if (!cli.parse(argc, argv)) return 0;
+    return cli;
+}
 
+/// Mode dispatch (everything after option parsing). Split out of main so
+/// the observability outputs can be written after whichever mode ran.
+int run_modes(const support::CliParser& cli) {
     if (cli.flag("list-backends")) {
         return list_backends();
     }
@@ -450,6 +478,27 @@ int main(int argc, char** argv) try {
                 str::parse_name_list(*variants_override, "--variants");
         }
         apply_adaptive_overrides(cli, spec);
+        obs::set_provenance("spec", spec.name);
+        obs::set_provenance(
+            "plan_hash",
+            str::format("%016llx",
+                        static_cast<unsigned long long>(spec.hash())));
+        obs::set_provenance("executor",
+                            spec.executor == campaign::ExecutorKind::Sim
+                                ? "sim"
+                                : "real");
+        obs::set_provenance("backend", spec.backend);
+        if (!spec.variant_backends.empty()) {
+            obs::set_provenance("variant_backends",
+                                str::join(spec.variant_backends, ","));
+        }
+        obs::set_provenance(
+            "adaptive",
+            spec.adaptive()
+                ? str::format("min=%zu,max=%zu,batch=%zu,stability=%zu",
+                              spec.adaptive_min, spec.measurements,
+                              spec.adaptive_batch, spec.adaptive_stability)
+                : "fixed-N");
         const auto shard_ref = cli.value_optional("shard");
         const auto merge_pattern = cli.value_optional("merge");
         const int modes = (shard_ref ? 1 : 0) + (merge_pattern ? 1 : 0) +
@@ -485,6 +534,51 @@ int main(int argc, char** argv) try {
         return 2;
     }
     return analyze_input(cli, *input);
+}
+
+} // namespace
+
+int main(int argc, char** argv) try {
+    support::CliParser cli = build_cli();
+    if (!cli.parse(argc, argv)) return 0;
+
+    // Metrics counting is always on: the savings line reads the registry,
+    // and the counters are a write-only side channel (one relaxed add per
+    // site — never any effect on measured values or clusterings).
+    obs::set_metrics_enabled(true);
+    const auto trace_path = cli.value_optional("trace");
+    const auto metrics_path = cli.value_optional("metrics");
+    if (trace_path) obs::set_tracing_enabled(true);
+    if (cli.flag("progress")) {
+        obs::set_progress_sink([](const obs::Progress& p) {
+            std::fprintf(stderr, "\r[%s %zu/%zu]    ", p.stage, p.done,
+                         p.total);
+            if (p.done >= p.total) std::fputc('\n', stderr);
+        });
+    }
+    obs::set_provenance("command", "relperf_cli");
+    obs::set_provenance("registered_backends",
+                        str::join(linalg::backend_names(), ","));
+
+    const int rc = run_modes(cli);
+
+    if (trace_path) {
+        obs::write_trace_json(*trace_path);
+        std::printf("trace written to %s (%zu events)\n", trace_path->c_str(),
+                    obs::trace_event_count());
+    }
+    if (metrics_path) {
+        std::ofstream out(*metrics_path);
+        out << obs::registry().render_prometheus();
+        out.close();
+        if (!out) {
+            std::fprintf(stderr, "error: failed writing metrics to %s\n",
+                         metrics_path->c_str());
+            return 1;
+        }
+        std::printf("metrics written to %s\n", metrics_path->c_str());
+    }
+    return rc;
 } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
