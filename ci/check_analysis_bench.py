@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate bench_analysis's CSV artifact.
+
+Usage: check_analysis_bench.py ANALYSIS_CSV
+
+Asserts that
+  * the header is exactly section,metric,param,value and every row is
+    complete;
+  * every value parses as a finite number;
+  * the three sections the bench promises (comparator, clusterer, engine)
+    are all present;
+  * the comparator speedup row exists and is not catastrophically below 1
+    (threshold 0.5 — lenient on purpose: CI runners are noisy and this
+    check guards against the optimization regressing outright, not against
+    run-to-run jitter);
+  * the clusterer section covers the documented problem sizes and the
+    engine section carries both the reuse=off and reuse=on round cost.
+
+Exits non-zero with a message naming the first violated invariant.
+"""
+
+import csv
+import math
+import sys
+
+EXPECTED_HEADER = ["section", "metric", "param", "value"]
+EXPECTED_SECTIONS = {"comparator", "clusterer", "engine"}
+SPEEDUP_FLOOR = 0.5
+
+
+def fail(message: str) -> None:
+    print(f"check_analysis_bench: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_analysis_bench.py ANALYSIS_CSV")
+    path = sys.argv[1]
+
+    with open(path, encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            fail(f"{path}: empty file")
+        if header != EXPECTED_HEADER:
+            fail(f"{path}: header {header} != {EXPECTED_HEADER}")
+        rows = []
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != len(EXPECTED_HEADER):
+                fail(f"{path}:{lineno}: expected {len(EXPECTED_HEADER)} "
+                     f"fields, got {len(row)}")
+            section, metric, param, raw = row
+            try:
+                value = float(raw)
+            except ValueError:
+                fail(f"{path}:{lineno}: value '{raw}' is not a number")
+            if not math.isfinite(value):
+                fail(f"{path}:{lineno}: value {raw} is not finite")
+            rows.append((section, metric, param, value))
+
+    if not rows:
+        fail(f"{path}: no data rows")
+
+    sections = {section for section, _, _, _ in rows}
+    missing = EXPECTED_SECTIONS - sections
+    if missing:
+        fail(f"{path}: missing sections {sorted(missing)}")
+
+    def find(section: str, metric: str) -> dict:
+        return {param: value for s, m, param, value in rows
+                if s == section and m == metric}
+
+    speedups = find("comparator", "speedup")
+    if not speedups:
+        fail(f"{path}: no comparator speedup row")
+    for param, value in speedups.items():
+        if value <= SPEEDUP_FLOOR:
+            fail(f"{path}: comparator speedup ({param}) = {value:.3f} "
+                 f"<= {SPEEDUP_FLOOR} — the scratch/nth_element fast path "
+                 f"has regressed")
+
+    sparse = find("clusterer", "sparse_wall_ms")
+    for expected in ("p=64", "p=256", "p=1024"):
+        if expected not in sparse:
+            fail(f"{path}: clusterer sparse_wall_ms missing {expected}")
+
+    round_cost = find("engine", "round_wall_ms")
+    for expected in ("reuse=off", "reuse=on"):
+        if expected not in round_cost:
+            fail(f"{path}: engine round_wall_ms missing {expected}")
+    if not find("engine", "round_speedup"):
+        fail(f"{path}: no engine round_speedup row")
+
+    print(f"check_analysis_bench: OK ({len(rows)} rows, "
+          f"sections {sorted(sections)})")
+
+
+if __name__ == "__main__":
+    main()

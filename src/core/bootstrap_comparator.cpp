@@ -1,14 +1,24 @@
 #include "core/bootstrap_comparator.hpp"
 
 #include "obs/metrics.hpp"
-#include "stats/bootstrap.hpp"
 #include "stats/descriptive.hpp"
 #include "support/error.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 namespace relperf::core {
+
+namespace {
+
+/// Below this many resampled values per call the OpenMP fork/join overhead
+/// outweighs the per-round work, so the rounds run serially even in parallel
+/// builds. Results are bit-identical either way; the threshold is purely a
+/// performance knob.
+constexpr std::size_t kParallelWorkThreshold = 16384;
+
+} // namespace
 
 void BootstrapComparatorConfig::validate() const {
     RELPERF_REQUIRE(rounds > 0, "BootstrapComparator: rounds must be positive");
@@ -26,24 +36,61 @@ BootstrapComparator::BootstrapComparator(BootstrapComparatorConfig config)
 
 double BootstrapComparator::score(std::span<const double> a, std::span<const double> b,
                                   stats::Rng& rng) const {
+    static thread_local BootstrapScratch scratch;
+    return score(a, b, rng, scratch);
+}
+
+double BootstrapComparator::score(std::span<const double> a, std::span<const double> b,
+                                  stats::Rng& rng, BootstrapScratch& scratch) const {
     RELPERF_REQUIRE(!a.empty() && !b.empty(), "BootstrapComparator: empty sample");
 
     // Counter only, no span: score() sits inside the clusterer's sort inner
     // loop, where even an unarmed span's ctor/dtor pair would be noise.
     obs::metrics().bootstrap_resamples_total.inc(2 * config_.rounds);
 
-    std::vector<double> res_a;
-    std::vector<double> res_b;
+    const std::size_t rounds = config_.rounds;
+    const std::size_t na = a.size();
+    const std::size_t nb = b.size();
+    scratch.resamples_a.resize(rounds * na);
+    scratch.resamples_b.resize(rounds * nb);
+    scratch.quantiles.resize(rounds);
+
+    // Phase 1 (serial): draw every round's resamples and quantile, in the
+    // exact per-round order the original one-pass loop consumed the rng
+    // (a-resample, b-resample, quantile). This keeps all scores — and with
+    // them every clustering and golden — bit-identical to the pre-scratch
+    // implementation, and makes phase 2 randomness-free and parallelizable.
+    double* slab_a = scratch.resamples_a.data();
+    double* slab_b = scratch.resamples_b.data();
+    for (std::size_t r = 0; r < rounds; ++r) {
+        double* row_a = slab_a + r * na;
+        for (std::size_t i = 0; i < na; ++i) {
+            row_a[i] = a[static_cast<std::size_t>(rng.uniform_index(na))];
+        }
+        double* row_b = slab_b + r * nb;
+        for (std::size_t i = 0; i < nb; ++i) {
+            row_b[i] = b[static_cast<std::size_t>(rng.uniform_index(nb))];
+        }
+        scratch.quantiles[r] = rng.uniform(config_.quantile_lo, config_.quantile_hi);
+    }
+
+    // Phase 2: per-round quantile selection and win/tie tally. Rounds are
+    // independent (disjoint slab rows, no rng) and the tally is an integer
+    // sum, so the parallel reduction matches the serial loop bit for bit.
     long wins_a = 0;
     long wins_b = 0;
-    for (std::size_t r = 0; r < config_.rounds; ++r) {
-        stats::resample(a, a.size(), rng, res_a);
-        stats::resample(b, b.size(), rng, res_b);
-        std::sort(res_a.begin(), res_a.end());
-        std::sort(res_b.begin(), res_b.end());
-        const double q = rng.uniform(config_.quantile_lo, config_.quantile_hi);
-        const double qa = stats::quantile_sorted(res_a, q);
-        const double qb = stats::quantile_sorted(res_b, q);
+    [[maybe_unused]] const bool parallel =
+        config_.parallel_rounds && rounds * (na + nb) >= kParallelWorkThreshold;
+#ifdef _OPENMP
+    #pragma omp parallel for schedule(static) reduction(+ : wins_a, wins_b) \
+        if (parallel)
+#endif
+    for (std::size_t r = 0; r < rounds; ++r) {
+        const double q = scratch.quantiles[r];
+        const double qa =
+            stats::quantile_partial(std::span<double>(slab_a + r * na, na), q);
+        const double qb =
+            stats::quantile_partial(std::span<double>(slab_b + r * nb, nb), q);
 
         const double band =
             config_.tie_epsilon * std::min(std::fabs(qa), std::fabs(qb));

@@ -20,6 +20,7 @@
 #include "core/comparison.hpp"
 
 #include <cstddef>
+#include <vector>
 
 namespace relperf::core {
 
@@ -31,9 +32,26 @@ struct BootstrapComparatorConfig {
     double quantile_hi = 0.65;       ///< Upper bound of the random quantile.
     double tie_epsilon = 0.02;       ///< Relative tie band per round.
     double decision_threshold = 0.9; ///< |score| needed to call a winner.
+    /// Evaluate the independent resample rounds in parallel (OpenMP builds
+    /// only; large inputs only — see kParallelWorkThreshold). The result is
+    /// bit-identical to the serial path: all randomness is drawn serially in
+    /// the legacy order before the rounds run, and the per-round win/tie
+    /// verdicts combine through an order-independent integer reduction.
+    bool parallel_rounds = true;
 
     /// Throws InvalidArgument when out of range.
     void validate() const;
+};
+
+/// Caller-owned scratch for BootstrapComparator::score: the resample slabs
+/// (rounds x sample size, drawn once per call) and the per-round quantiles.
+/// Reusing one scratch across the hundreds of thousands of score() calls a
+/// clustering makes turns the former two-allocations-plus-two-sorts per
+/// round into zero allocations and two partial selections.
+struct BootstrapScratch {
+    std::vector<double> resamples_a; ///< rounds x a.size() slab.
+    std::vector<double> resamples_b; ///< rounds x b.size() slab.
+    std::vector<double> quantiles;   ///< One random quantile per round.
 };
 
 class BootstrapComparator final : public Comparator {
@@ -45,9 +63,16 @@ public:
                                    stats::Rng& rng) const override;
 
     /// The raw win-rate score in [-1, 1] (positive: a wins). Exposed for
-    /// diagnostics and the ablation benches.
+    /// diagnostics and the ablation benches. Uses a thread-local scratch —
+    /// the comparator itself stays stateless and shareable across campaign
+    /// worker threads.
     [[nodiscard]] double score(std::span<const double> a, std::span<const double> b,
                                stats::Rng& rng) const;
+
+    /// As above with caller-owned scratch (the allocation-free hot path the
+    /// clusterer and the benches drive).
+    [[nodiscard]] double score(std::span<const double> a, std::span<const double> b,
+                               stats::Rng& rng, BootstrapScratch& scratch) const;
 
     [[nodiscard]] std::string name() const override { return "bootstrap"; }
 

@@ -6,11 +6,83 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 namespace relperf::core {
 
+namespace {
+
+/// Shared by the sparse and dense tally paths: turns max_rank_seen plus a
+/// callback yielding one algorithm's ascending (rank, count) pairs into the
+/// final Clustering (clusters, memberships, final assignment). Keeping one
+/// builder guarantees the two paths cannot drift apart in the score
+/// arithmetic or the tie rules.
+template <typename PerAlgRankCounts>
+Clustering build_clustering(std::size_t p, std::size_t repetitions,
+                            int max_rank_seen,
+                            const PerAlgRankCounts& rank_counts_of) {
+    Clustering out;
+    out.repetitions = repetitions;
+    out.clusters.resize(static_cast<std::size_t>(max_rank_seen));
+    out.memberships.resize(p);
+
+    // Relative scores (Procedure 4 lines 10-12).
+    const double rep = static_cast<double>(repetitions);
+    for (std::size_t alg = 0; alg < p; ++alg) {
+        for (const auto& [rank, w] : rank_counts_of(alg)) {
+            const double score = static_cast<double>(w) / rep;
+            out.clusters[static_cast<std::size_t>(rank - 1)].push_back(
+                ClusterEntry{alg, score});
+            out.memberships[alg].push_back(RankScore{rank, score});
+        }
+    }
+    for (auto& cluster : out.clusters) {
+        std::sort(cluster.begin(), cluster.end(),
+                  [](const ClusterEntry& a, const ClusterEntry& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.alg < b.alg;
+                  });
+    }
+
+    // Final unique assignment (Sec. III): max-score rank, ties towards the
+    // better rank, score cumulated over better-or-equal ranks.
+    out.final_assignment.resize(p);
+    for (std::size_t alg = 0; alg < p; ++alg) {
+        int best_rank = 1;
+        std::size_t best_count = 0;
+        for (const auto& [rank, w] : rank_counts_of(alg)) {
+            if (w > best_count) {
+                best_count = w;
+                best_rank = rank;
+            }
+        }
+        RELPERF_ASSERT(best_count > 0, "RelativeClusterer: algorithm never ranked");
+        double cumulated = 0.0;
+        for (const auto& [rank, w] : rank_counts_of(alg)) {
+            if (rank > best_rank) break; // ascending rank order
+            cumulated += static_cast<double>(w) / rep;
+        }
+        out.final_assignment[alg] = FinalAssignment{alg, best_rank, cumulated};
+    }
+    return out;
+}
+
+} // namespace
+
 double Clustering::score_of(std::size_t alg, int rank) const {
+    RELPERF_REQUIRE(alg < final_assignment.size(),
+                    "Clustering: algorithm out of range");
     if (rank < 1 || rank > cluster_count()) return 0.0;
+    if (!memberships.empty()) {
+        // Index-backed: the algorithm's own (rank, score) list, at most one
+        // entry per distinct rank observed (<= min(Rep, cluster count)).
+        for (const RankScore& m : memberships[alg]) {
+            if (m.rank == rank) return m.score;
+            if (m.rank > rank) break; // ascending
+        }
+        return 0.0;
+    }
+    // Hand-built Clustering without the index: scan the cluster.
     for (const ClusterEntry& e : clusters[static_cast<std::size_t>(rank - 1)]) {
         if (e.alg == alg) return e.score;
     }
@@ -24,6 +96,11 @@ int Clustering::final_rank(std::size_t alg) const {
 
 void ClustererConfig::validate() const {
     RELPERF_REQUIRE(repetitions > 0, "ClustererConfig: repetitions must be positive");
+}
+
+void ClusterContext::freeze(std::size_t alg) {
+    if (alg >= frozen_.size()) frozen_.resize(alg + 1, false);
+    frozen_[alg] = true;
 }
 
 RelativeClusterer::RelativeClusterer(const Comparator& comparator,
@@ -54,29 +131,125 @@ RankedSequence RelativeClusterer::sort_once_traced(const MeasurementSet& measure
 }
 
 Clustering RelativeClusterer::cluster(const MeasurementSet& measurements) const {
+    ClusterContext context;
+    return cluster(measurements, context);
+}
+
+Clustering RelativeClusterer::cluster(const MeasurementSet& measurements,
+                                      ClusterContext& ctx) const {
     RELPERF_REQUIRE(!measurements.empty(), "RelativeClusterer: no algorithms");
     const std::size_t p = measurements.size();
     obs::Span span("clusterer.cluster", "core");
     span.arg("algorithms", static_cast<std::uint64_t>(p))
         .arg("repetitions", static_cast<std::uint64_t>(config_.repetitions));
     obs::metrics().clusterings_total.inc();
+
+    // The per-repetition shuffled orders and post-shuffle comparator streams
+    // depend only on (seed, Rep, p) — prepare once, reuse every round.
+    if (!ctx.prepared_ || ctx.prepared_seed_ != config_.seed ||
+        ctx.prepared_reps_ != config_.repetitions || ctx.prepared_p_ != p) {
+        const stats::Rng master(config_.seed);
+        ctx.orders_.assign(config_.repetitions, {});
+        ctx.streams_.clear();
+        ctx.streams_.reserve(config_.repetitions);
+        for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
+            stats::Rng rng = master.child(rep);
+            // Procedure 4 line 4: Shuffle(A).
+            std::vector<std::size_t>& order = ctx.orders_[rep];
+            order.resize(p);
+            std::iota(order.begin(), order.end(), std::size_t{0});
+            rng.shuffle(order);
+            ctx.streams_.push_back(rng);
+        }
+        ctx.outcome_cache_.assign(config_.repetitions, {});
+        ctx.prepared_seed_ = config_.seed;
+        ctx.prepared_reps_ = config_.repetitions;
+        ctx.prepared_p_ = p;
+        ctx.prepared_ = true;
+    }
+
+    // counts[alg] = ascending (rank, count) pairs actually observed — at
+    // most min(Rep, cluster count) entries, never p.
+    auto& counts = ctx.counts_;
+    counts.resize(p);
+    for (auto& per_alg : counts) per_alg.clear();
+    int max_rank_seen = 0;
+
+    const bool use_cache =
+        std::find(ctx.frozen_.begin(), ctx.frozen_.end(), true) !=
+        ctx.frozen_.end();
+    ctx.reused_last_round_ = 0;
+
+    for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
+        stats::Rng rng = ctx.streams_[rep];
+        auto& cache = ctx.outcome_cache_[rep];
+
+        // Procedure 4 line 5: SortAlgs(A), replaying cached outcomes for
+        // pairs whose samples can no longer change.
+        ThreeWaySorter sorter([&](std::size_t a, std::size_t b) {
+            if (use_cache && a < ctx.frozen_.size() && ctx.frozen_[a] &&
+                b < ctx.frozen_.size() && ctx.frozen_[b]) {
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(a) << 32) |
+                    static_cast<std::uint64_t>(b);
+                if (const auto it = cache.find(key); it != cache.end()) {
+                    ++ctx.reused_last_round_;
+                    return it->second;
+                }
+                const Ordering outcome = comparator_.compare(
+                    measurements.samples(a), measurements.samples(b), rng);
+                cache.emplace(key, outcome);
+                return outcome;
+            }
+            return comparator_.compare(measurements.samples(a),
+                                       measurements.samples(b), rng);
+        });
+        const RankedSequence seq = sorter.sort(ctx.orders_[rep]);
+
+        for (std::size_t pos = 0; pos < p; ++pos) {
+            const int rank = seq.ranks[pos];
+            RELPERF_ASSERT(rank >= 1 && rank <= static_cast<int>(p),
+                           "RelativeClusterer: rank out of range");
+            auto& per_alg = counts[seq.order[pos]];
+            auto it = std::find_if(per_alg.begin(), per_alg.end(),
+                                   [rank](const auto& rc) {
+                                       return rc.first == rank;
+                                   });
+            if (it == per_alg.end()) {
+                per_alg.emplace_back(rank, std::size_t{1});
+            } else {
+                ++it->second;
+            }
+            max_rank_seen = std::max(max_rank_seen, rank);
+        }
+    }
+    ctx.reused_total_ += ctx.reused_last_round_;
+
+    for (auto& per_alg : counts) {
+        std::sort(per_alg.begin(), per_alg.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
+    return build_clustering(p, config_.repetitions, max_rank_seen,
+                            [&counts](std::size_t alg) -> const auto& {
+                                return counts[alg];
+                            });
+}
+
+Clustering RelativeClusterer::cluster_dense(const MeasurementSet& measurements) const {
+    RELPERF_REQUIRE(!measurements.empty(), "RelativeClusterer: no algorithms");
+    const std::size_t p = measurements.size();
     const stats::Rng master(config_.seed);
 
-    // counts[alg][rank-1] = number of repetitions assigning `rank` to `alg`.
+    // The original dense tally: counts[alg][rank-1], O(p^2) memory.
     std::vector<std::vector<std::size_t>> counts(p, std::vector<std::size_t>(p, 0));
     int max_rank_seen = 0;
 
     for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
         stats::Rng rng = master.child(rep);
-
-        // Procedure 4 line 4: Shuffle(A).
         std::vector<std::size_t> order(p);
         std::iota(order.begin(), order.end(), std::size_t{0});
         rng.shuffle(order);
-
-        // Procedure 4 line 5: SortAlgs(A).
         const RankedSequence seq = sort_once(measurements, std::move(order), rng);
-
         for (std::size_t pos = 0; pos < p; ++pos) {
             const int rank = seq.ranks[pos];
             RELPERF_ASSERT(rank >= 1 && rank <= static_cast<int>(p),
@@ -86,53 +259,19 @@ Clustering RelativeClusterer::cluster(const MeasurementSet& measurements) const 
         }
     }
 
-    Clustering out;
-    out.repetitions = config_.repetitions;
-    out.clusters.resize(static_cast<std::size_t>(max_rank_seen));
-
-    // Relative scores (Procedure 4 lines 10-12).
-    const double rep = static_cast<double>(config_.repetitions);
-    for (std::size_t alg = 0; alg < p; ++alg) {
-        for (int rank = 1; rank <= max_rank_seen; ++rank) {
-            const std::size_t w = counts[alg][static_cast<std::size_t>(rank - 1)];
-            if (w > 0) {
-                out.clusters[static_cast<std::size_t>(rank - 1)].push_back(
-                    ClusterEntry{alg, static_cast<double>(w) / rep});
+    // Adapt the dense rows to the ascending sparse view the builder expects.
+    std::vector<std::pair<int, std::size_t>> row;
+    return build_clustering(
+        p, config_.repetitions, max_rank_seen,
+        [&counts, &row, max_rank_seen](std::size_t alg) -> const auto& {
+            row.clear();
+            for (int rank = 1; rank <= max_rank_seen; ++rank) {
+                const std::size_t w =
+                    counts[alg][static_cast<std::size_t>(rank - 1)];
+                if (w > 0) row.emplace_back(rank, w);
             }
-        }
-    }
-    for (auto& cluster : out.clusters) {
-        std::sort(cluster.begin(), cluster.end(),
-                  [](const ClusterEntry& a, const ClusterEntry& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.alg < b.alg;
-                  });
-    }
-
-    // Final unique assignment (Sec. III): max-score rank, ties towards the
-    // better rank, score cumulated over better-or-equal ranks.
-    out.final_assignment.resize(p);
-    for (std::size_t alg = 0; alg < p; ++alg) {
-        int best_rank = 1;
-        std::size_t best_count = 0;
-        for (int rank = 1; rank <= max_rank_seen; ++rank) {
-            const std::size_t w = counts[alg][static_cast<std::size_t>(rank - 1)];
-            if (w > best_count) {
-                best_count = w;
-                best_rank = rank;
-            }
-        }
-        RELPERF_ASSERT(best_count > 0, "RelativeClusterer: algorithm never ranked");
-        double cumulated = 0.0;
-        for (int rank = 1; rank <= best_rank; ++rank) {
-            cumulated += static_cast<double>(
-                             counts[alg][static_cast<std::size_t>(rank - 1)]) /
-                         rep;
-        }
-        out.final_assignment[alg] = FinalAssignment{alg, best_rank, cumulated};
-    }
-
-    return out;
+            return row;
+        });
 }
 
 } // namespace relperf::core

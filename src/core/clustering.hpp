@@ -11,12 +11,20 @@
 //! of membership. The final unique assignment puts each algorithm into its
 //! max-score cluster with the scores of better ranks cumulated (the paper's
 //! algDA example: rank 3 at 0.6 + rank 2 at 0.3 => final rank 3, score 0.9).
+//!
+//! Scale note: an algorithm can only ever be observed in at most
+//! min(Rep, cluster-count) distinct ranks, so the rank tallies are kept as
+//! per-algorithm sparse (rank, count) lists — O(p * Rep) peak memory instead
+//! of the dense p x p counts matrix (32 GiB at the 65536-variant cap). The
+//! dense tally survives as cluster_dense(), the memory-hungry oracle the
+//! equivalence tests assert bit-identical results against.
 
 #include "core/comparison.hpp"
 #include "core/measurement.hpp"
 #include "core/threeway_sort.hpp"
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace relperf::core {
@@ -34,6 +42,13 @@ struct FinalAssignment {
     double score = 0.0; ///< Cumulated score over ranks <= rank.
 };
 
+/// One algorithm's membership in one rank, as stored in the per-algorithm
+/// score index (sorted by rank ascending).
+struct RankScore {
+    int rank = 0;
+    double score = 0.0;
+};
+
 /// Full clustering result.
 struct Clustering {
     /// clusters[r-1] = algorithms that obtained rank r in >= 1 repetition,
@@ -41,6 +56,10 @@ struct Clustering {
     std::vector<std::vector<ClusterEntry>> clusters;
     /// Final unique assignment, indexed by algorithm id.
     std::vector<FinalAssignment> final_assignment;
+    /// Per-algorithm (rank, score) memberships, sorted by rank — the index
+    /// behind score_of. Filled by the clusterer; score_of falls back to
+    /// scanning `clusters` when a hand-built instance left it empty.
+    std::vector<std::vector<RankScore>> memberships;
     /// Number of repetitions actually performed (Rep).
     std::size_t repetitions = 0;
 
@@ -48,7 +67,9 @@ struct Clustering {
         return static_cast<int>(clusters.size());
     }
 
-    /// Relative score of `alg` in cluster `rank` (0 when absent).
+    /// Relative score of `alg` in cluster `rank` (0 when the algorithm never
+    /// obtained that rank, including out-of-range ranks). Throws
+    /// InvalidArgument for an out-of-range algorithm index, like final_rank.
     [[nodiscard]] double score_of(std::size_t alg, int rank) const;
 
     /// Convenience: final rank of `alg`.
@@ -63,12 +84,85 @@ struct ClustererConfig {
     void validate() const;
 };
 
+/// Reusable cross-call state for repeated clusterings of the *same*
+/// algorithm set under the *same* config — the adaptive engine's per-round
+/// re-clustering. Two independent reuses live here:
+///
+///  * The per-repetition shuffled orders and post-shuffle rng snapshots are
+///    pure functions of (seed, Rep, p), so round 2+ skips re-deriving and
+///    re-shuffling Rep child streams. Bit-identical by construction.
+///  * Comparison outcomes between two *frozen* algorithms (both marked via
+///    freeze(), i.e. early-stopped: their samples can no longer change) are
+///    cached per repetition and replayed on every later comparison of the
+///    pair — the later bubble passes of the same round as well as all
+///    subsequent rounds — instead of re-running the bootstrap. Replayed
+///    outcomes are legitimate draws of the same conditional distribution,
+///    but they shift the rng stream of subsequent comparisons in that
+///    repetition, so a round that reused any outcome is no longer
+///    bit-identical to a from-scratch clustering — the engine recomputes its
+///    final published clustering cleanly for exactly that reason (see
+///    MeasurementEngine).
+///
+/// With no algorithm frozen, cluster(measurements, ctx) is bit-identical to
+/// cluster(measurements) (gtest-asserted).
+class ClusterContext {
+public:
+    ClusterContext() = default;
+
+    /// Marks an algorithm as frozen: its samples are final, so comparisons
+    /// against other frozen algorithms may be replayed across rounds.
+    void freeze(std::size_t alg);
+
+    /// Comparisons replayed from the cache in the most recent cluster() call.
+    [[nodiscard]] std::size_t reused_last_round() const noexcept {
+        return reused_last_round_;
+    }
+
+    /// Comparisons replayed over the context's lifetime.
+    [[nodiscard]] std::size_t reused_total() const noexcept {
+        return reused_total_;
+    }
+
+private:
+    friend class RelativeClusterer;
+
+    /// Sparse per-algorithm rank tallies, reused across calls.
+    std::vector<std::vector<std::pair<int, std::size_t>>> counts_;
+    /// Per-repetition shuffled initial orders (identical every round).
+    std::vector<std::vector<std::size_t>> orders_;
+    /// Per-repetition rng state after the shuffle (the comparator stream).
+    std::vector<stats::Rng> streams_;
+    /// What orders_/streams_ were prepared for; re-prepared on mismatch.
+    std::uint64_t prepared_seed_ = 0;
+    std::size_t prepared_reps_ = 0;
+    std::size_t prepared_p_ = 0;
+    bool prepared_ = false;
+
+    std::vector<bool> frozen_;
+    /// outcome_cache_[rep][pair-key] = replayable Ordering for a frozen pair.
+    std::vector<std::unordered_map<std::uint64_t, Ordering>> outcome_cache_;
+    std::size_t reused_last_round_ = 0;
+    std::size_t reused_total_ = 0;
+};
+
 /// Runs Procedure 4 over a MeasurementSet with any Comparator.
 class RelativeClusterer {
 public:
     RelativeClusterer(const Comparator& comparator, ClustererConfig config = {});
 
     [[nodiscard]] Clustering cluster(const MeasurementSet& measurements) const;
+
+    /// As cluster(), reusing (and updating) engine-owned cross-round state.
+    /// Bit-identical to the context-free overload unless `context` has
+    /// frozen algorithms whose cached outcomes get replayed (see
+    /// ClusterContext).
+    [[nodiscard]] Clustering cluster(const MeasurementSet& measurements,
+                                     ClusterContext& context) const;
+
+    /// The pre-scale reference implementation with the dense p x p counts
+    /// matrix — O(p^2) memory, kept only as the oracle the sparse path is
+    /// equivalence-tested against. Do not use beyond small p.
+    [[nodiscard]] Clustering cluster_dense(const MeasurementSet& measurements) const;
 
     /// Single sort pass (one repetition) from a given initial order; exposed
     /// for diagnostics and the Figure 2 bench.

@@ -28,11 +28,13 @@ bool is_skippable(const std::string& line) {
                             message.c_str()));
 }
 
-} // namespace
-
-MeasurementSet parse_measurements_csv(const std::string& content,
-                                      const std::string& source) {
-    std::istringstream in(content);
+/// The one parser core, consuming any istream line by line. Both entry
+/// points stream through here, so file ingestion holds a single line buffer
+/// instead of a whole-file copy (plus its ostringstream duplicate, as the
+/// pre-streaming read_measurements_csv did) — and the two paths cannot
+/// diverge in results or error messages (parity-tested, errors included).
+MeasurementSet parse_measurements_stream(std::istream& in,
+                                         const std::string& source) {
     std::string line;
     std::size_t line_number = 0;
 
@@ -96,14 +98,20 @@ MeasurementSet parse_measurements_csv(const std::string& content,
     return set;
 }
 
+} // namespace
+
+MeasurementSet parse_measurements_csv(const std::string& content,
+                                      const std::string& source) {
+    std::istringstream in(content);
+    return parse_measurements_stream(in, source);
+}
+
 MeasurementSet read_measurements_csv(const std::string& path) {
     std::ifstream in(path);
     if (!in) {
         throw Error("read_measurements_csv: cannot open '" + path + "'");
     }
-    std::ostringstream content;
-    content << in.rdbuf();
-    return parse_measurements_csv(content.str(), path);
+    return parse_measurements_stream(in, path);
 }
 
 } // namespace relperf::core

@@ -132,6 +132,11 @@ EngineResult MeasurementEngine::run(SampleSource& source) const {
     const BootstrapComparator comparator(comparator_);
     const RelativeClusterer clusterer(comparator, clustering_);
 
+    // Cross-round clusterer state: per-repetition shuffle orders and
+    // comparator streams prepared once, plus the frozen-pair outcome cache
+    // (see ClusterContext). With reuse off the context still avoids
+    // re-deriving Rep shuffled orders every round, which is bit-identical.
+    ClusterContext cluster_ctx;
     std::vector<std::size_t> stable(count, 0);
     std::vector<bool> stopped(count, false);
     std::vector<int> previous_rank;
@@ -139,13 +144,16 @@ EngineResult MeasurementEngine::run(SampleSource& source) const {
         obs::Span round_span("engine.round", "engine");
         obs::metrics().adaptive_rounds.inc();
         obs::report_progress("engine.round", out.rounds, max_rounds);
-        Clustering clustering = clusterer.cluster(out.measurements);
+        Clustering clustering = clusterer.cluster(out.measurements, cluster_ctx);
         std::vector<int> rank(count);
         for (std::size_t i = 0; i < count; ++i) {
             rank[i] = clustering.final_rank(i);
         }
         if (!previous_rank.empty()) {
             for (std::size_t i = 0; i < count; ++i) {
+                // Frozen algorithms stay frozen: their stability counter is
+                // never read again, so skip the bookkeeping.
+                if (stopped[i]) continue;
                 if (rank[i] == previous_rank[i]) {
                     ++stable[i];
                 } else {
@@ -161,17 +169,26 @@ EngineResult MeasurementEngine::run(SampleSource& source) const {
             if (out.samples_per_alg[i] >= adaptive_.max_n ||
                 stable[i] >= adaptive_.stability_rounds) {
                 stopped[i] = true;
+                if (adaptive_.reuse_frozen_comparisons) cluster_ctx.freeze(i);
                 continue;
             }
             extend.push_back(i);
         }
         round_span.arg("round", static_cast<std::uint64_t>(out.rounds))
             .arg("extending", static_cast<std::uint64_t>(extend.size()))
-            .arg("stopped", static_cast<std::uint64_t>(count - extend.size()));
+            .arg("stopped", static_cast<std::uint64_t>(count - extend.size()))
+            .arg("comparisons_reused",
+                 static_cast<std::uint64_t>(cluster_ctx.reused_last_round()));
         if (extend.empty()) {
-            // The clustering of the final measurements — exactly what
-            // analyze_measurements would compute on them.
-            out.clustering = std::move(clustering);
+            // The published clustering must be exactly what
+            // analyze_measurements would compute on the final measurements.
+            // A round that replayed cached frozen-pair outcomes shifted the
+            // comparator streams, so recompute cleanly in that case.
+            if (cluster_ctx.reused_last_round() > 0) {
+                out.clustering = clusterer.cluster(out.measurements);
+            } else {
+                out.clustering = std::move(clustering);
+            }
             break;
         }
         std::size_t extended_samples = 0;

@@ -45,6 +45,15 @@ struct AdaptiveConfig {
     /// Consecutive clusterings with unchanged final membership after which an
     /// algorithm stops being measured.
     std::size_t stability_rounds = 2;
+    /// Replay comparison outcomes between pairs of already-stopped
+    /// algorithms across rounds instead of re-running the bootstrap (their
+    /// samples can no longer change, so the cached outcome is a draw of the
+    /// same conditional distribution). Cuts the per-round re-clustering cost
+    /// sharply once most algorithms have frozen; the engine's published
+    /// final clustering is re-computed from scratch whenever any outcome was
+    /// replayed, so EngineResult::clustering always equals what
+    /// analyze_measurements would produce on the final measurements.
+    bool reuse_frozen_comparisons = true;
 
     /// True when early stopping can actually happen (max_n > min_n).
     [[nodiscard]] bool enabled() const noexcept { return max_n > min_n; }

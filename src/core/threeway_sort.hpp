@@ -82,8 +82,10 @@ private:
 };
 
 /// Validates the rank-label invariant (non-decreasing from 1, steps in
-/// {0,1}); throws InternalError on violation. Called after every update in
-/// debug flows and directly by property tests.
+/// {0,1}); throws InternalError on violation. The sorter runs this full
+/// O(p) scan once per sort (each step uses an O(1) local check — the updates
+/// only touch the labels around the compared pair); property tests call it
+/// directly.
 void check_rank_invariant(const std::vector<int>& ranks);
 
 } // namespace relperf::core

@@ -86,6 +86,24 @@ double quantile_sorted(std::span<const double> sorted, double p) {
     return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+double quantile_partial(std::span<double> sample, double p) {
+    RELPERF_REQUIRE(!sample.empty(), "quantile_partial: empty sample");
+    RELPERF_REQUIRE(p >= 0.0 && p <= 1.0, "quantile_partial: p must be in [0,1]");
+    if (sample.size() == 1) return sample[0];
+    const double h = p * static_cast<double>(sample.size() - 1);
+    const auto lo = static_cast<std::size_t>(h);
+    const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    const auto lo_it = sample.begin() + static_cast<std::ptrdiff_t>(lo);
+    std::nth_element(sample.begin(), lo_it, sample.end());
+    const double v_lo = sample[lo];
+    // The (lo+1)-th order statistic is the minimum of the partition above
+    // lo; when hi == lo (p == 1) the interpolation collapses to v_lo.
+    const double v_hi =
+        hi == lo ? v_lo : *std::min_element(lo_it + 1, sample.end());
+    return v_lo + frac * (v_hi - v_lo);
+}
+
 double quantile(std::span<const double> sample, double p) {
     const std::vector<double> sorted = sorted_copy(sample);
     return quantile_sorted(sorted, p);
@@ -97,12 +115,13 @@ double median(std::span<const double> sample) {
 
 double mad(std::span<const double> sample) {
     RELPERF_REQUIRE(!sample.empty(), "mad: empty sample");
-    const double med = median(sample);
-    std::vector<double> dev;
-    dev.reserve(sample.size());
-    for (const double x : sample) dev.push_back(std::fabs(x - med));
+    // One sort for the sample median; the deviations then reuse the buffer
+    // and only need a partial selection, not a second full sort.
+    std::vector<double> buf = sorted_copy(sample);
+    const double med = quantile_sorted(buf, 0.5);
+    for (double& x : buf) x = std::fabs(x - med);
     // 1.4826 makes MAD a consistent sigma estimator for the normal.
-    return 1.4826 * median(dev);
+    return 1.4826 * quantile_partial(buf, 0.5);
 }
 
 double trimmed_mean(std::span<const double> sample, double trim) {

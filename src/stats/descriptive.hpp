@@ -66,6 +66,14 @@ struct Summary {
 /// Precondition (checked): data non-empty, ascending.
 [[nodiscard]] double quantile_sorted(std::span<const double> sorted, double p);
 
+/// Type-7 quantile via partial selection (std::nth_element) instead of a
+/// full sort: O(n) expected vs O(n log n). Reorders `sample` in place.
+/// Bit-identical to quantile_sorted on the sorted data — the interpolation
+/// reads the same two order statistics with the same arithmetic (asserted in
+/// tests over randomized inputs). This is the bootstrap comparator's
+/// per-round selection, where the resample buffer is scratch anyway.
+[[nodiscard]] double quantile_partial(std::span<double> sample, double p);
+
 /// Quantile of unsorted data (copies + sorts internally).
 [[nodiscard]] double quantile(std::span<const double> sample, double p);
 

@@ -160,6 +160,43 @@ TEST(BootstrapComparatorConfig, ValidationCatchesBadKnobs) {
     EXPECT_THROW(BootstrapComparator{cfg}, relperf::InvalidArgument);
 }
 
+TEST(BootstrapComparator, SerialAndParallelRoundsAreBitIdentical) {
+    // The resamples and quantiles are pregenerated serially and the per-round
+    // tally is an integer reduction, so OpenMP on/off must agree exactly —
+    // score by score, over many seeds. (In a serial build both configs run
+    // the same loop and the test degenerates to determinism.)
+    BootstrapComparatorConfig serial_cfg;
+    serial_cfg.rounds = 400; // 400 * 60 values clears the parallel threshold
+    serial_cfg.parallel_rounds = false;
+    BootstrapComparatorConfig parallel_cfg = serial_cfg;
+    parallel_cfg.parallel_rounds = true;
+    const BootstrapComparator serial(serial_cfg);
+    const BootstrapComparator parallel(parallel_cfg);
+
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        const auto a = lognormal_sample(1.0, 0.3, 30, seed * 2 + 1);
+        const auto b = lognormal_sample(1.05, 0.3, 30, seed * 2 + 2);
+        Rng rng_serial(seed + 1000);
+        Rng rng_parallel(seed + 1000);
+        const double s = serial.score(a, b, rng_serial);
+        const double p = parallel.score(a, b, rng_parallel);
+        EXPECT_EQ(s, p) << "seed " << seed;
+    }
+}
+
+TEST(BootstrapComparator, CallerOwnedScratchMatchesThreadLocalPath) {
+    const BootstrapComparator cmp(BootstrapComparatorConfig{});
+    const auto a = lognormal_sample(1.0, 0.2, 25, 7);
+    const auto b = lognormal_sample(1.1, 0.2, 25, 8);
+    core::BootstrapScratch scratch;
+    for (int call = 0; call < 3; ++call) { // reuse exercises stale contents
+        Rng rng_plain(42 + call);
+        Rng rng_scratch(42 + call);
+        EXPECT_EQ(cmp.score(a, b, rng_plain),
+                  cmp.score(a, b, rng_scratch, scratch));
+    }
+}
+
 TEST(BootstrapComparator, NameIsStable) {
     EXPECT_EQ(BootstrapComparator{}.name(), "bootstrap");
 }

@@ -1,0 +1,79 @@
+//! Release-only memory-ceiling smoke for the sparse clusterer.
+//!
+//! 8192 single-sample algorithms through RelativeClusterer::cluster: the
+//! dense pre-scale tally would allocate a 8192 x 8192 counts matrix — 512 MiB
+//! for the counts alone — while the sparse per-algorithm tallies stay at
+//! O(p * Rep). The test pins the whole process's peak RSS well below the
+//! dense matrix's size, so a regression back to O(p^2) memory fails loudly.
+//! All samples are identical, so every comparison is Equivalent and the
+//! repeated sort is a single cheap pass — the test probes memory, not time.
+
+#include "core/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#endif
+
+// Sanitizer shadow memory and redzones dominate ru_maxrss, so the ceiling is
+// only meaningful in uninstrumented builds. (The repo keeps assertions on in
+// Release, so there is no NDEBUG axis to gate on.)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RELPERF_SCALE_SMOKE_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(leak_sanitizer)
+#define RELPERF_SCALE_SMOKE_SANITIZED 1
+#endif
+#endif
+
+namespace core = relperf::core;
+
+namespace {
+
+/// Every pair ties — the cheapest possible comparator, and with identical
+/// samples also the honest outcome.
+class AllEquivalentComparator final : public core::Comparator {
+public:
+    core::Ordering compare(std::span<const double>, std::span<const double>,
+                           relperf::stats::Rng&) const override {
+        return core::Ordering::Equivalent;
+    }
+    std::string name() const override { return "all-equivalent"; }
+};
+
+} // namespace
+
+TEST(RelativeClustererScale, EightKAlgorithmsStayUnderTheDenseMemoryFloor) {
+#if defined(RELPERF_SCALE_SMOKE_SANITIZED)
+    GTEST_SKIP() << "memory-ceiling smoke runs in uninstrumented builds only";
+#elif !defined(__linux__)
+    GTEST_SKIP() << "needs getrusage ru_maxrss";
+#else
+    constexpr std::size_t p = 8192;
+    core::MeasurementSet set;
+    for (std::size_t i = 0; i < p; ++i) {
+        set.add("alg" + std::to_string(i), {1.0});
+    }
+
+    const AllEquivalentComparator cmp;
+    const core::RelativeClusterer clusterer(cmp, core::ClustererConfig{4, 1});
+    const core::Clustering result = clusterer.cluster(set);
+
+    ASSERT_EQ(result.cluster_count(), 1);
+    EXPECT_DOUBLE_EQ(result.score_of(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(result.score_of(p - 1, 1), 1.0);
+    EXPECT_EQ(result.final_rank(p / 2), 1);
+
+    struct rusage usage {};
+    ASSERT_EQ(getrusage(RUSAGE_SELF, &usage), 0);
+    const long peak_mib = usage.ru_maxrss / 1024; // ru_maxrss is KiB on Linux
+    // The dense counts matrix alone is p^2 * 8 B = 512 MiB; the sparse path
+    // plus gtest plus the measurement set fits in a small fraction of that.
+    EXPECT_LT(peak_mib, 256)
+        << "peak RSS " << peak_mib << " MiB suggests an O(p^2) allocation";
+#endif
+}

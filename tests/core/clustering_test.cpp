@@ -1,10 +1,13 @@
 #include "core/clustering.hpp"
 
+#include "core/bootstrap_comparator.hpp"
 #include "support/error.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <string>
 
 namespace core = relperf::core;
 using core::Clustering;
@@ -70,6 +73,52 @@ private:
     std::vector<double> y_;
     double flip_prob_;
 };
+
+/// p algorithms with overlapping noisy distributions — enough class overlap
+/// that the bootstrap comparator's stochastic outcomes split scores across
+/// several ranks.
+MeasurementSet overlapping_set(std::size_t p, std::uint64_t seed) {
+    Rng rng(seed);
+    MeasurementSet set;
+    for (std::size_t i = 0; i < p; ++i) {
+        const double base = 1.0 + 0.25 * static_cast<double>(i % 7);
+        std::vector<double> samples;
+        samples.reserve(5);
+        for (int k = 0; k < 5; ++k) {
+            samples.push_back(base * (1.0 + 0.05 * rng.uniform(-1.0, 1.0)));
+        }
+        set.add("alg" + std::to_string(i), std::move(samples));
+    }
+    return set;
+}
+
+/// Exact structural equality — every score compared with operator== (the
+/// sparse path's bit-identity claim, not a tolerance check).
+void expect_identical(const Clustering& a, const Clustering& b) {
+    ASSERT_EQ(a.repetitions, b.repetitions);
+    ASSERT_EQ(a.cluster_count(), b.cluster_count());
+    for (std::size_t r = 0; r < a.clusters.size(); ++r) {
+        ASSERT_EQ(a.clusters[r].size(), b.clusters[r].size());
+        for (std::size_t i = 0; i < a.clusters[r].size(); ++i) {
+            EXPECT_EQ(a.clusters[r][i].alg, b.clusters[r][i].alg);
+            EXPECT_EQ(a.clusters[r][i].score, b.clusters[r][i].score);
+        }
+    }
+    ASSERT_EQ(a.memberships.size(), b.memberships.size());
+    for (std::size_t alg = 0; alg < a.memberships.size(); ++alg) {
+        ASSERT_EQ(a.memberships[alg].size(), b.memberships[alg].size());
+        for (std::size_t i = 0; i < a.memberships[alg].size(); ++i) {
+            EXPECT_EQ(a.memberships[alg][i].rank, b.memberships[alg][i].rank);
+            EXPECT_EQ(a.memberships[alg][i].score, b.memberships[alg][i].score);
+        }
+    }
+    ASSERT_EQ(a.final_assignment.size(), b.final_assignment.size());
+    for (std::size_t alg = 0; alg < a.final_assignment.size(); ++alg) {
+        EXPECT_EQ(a.final_assignment[alg].alg, b.final_assignment[alg].alg);
+        EXPECT_EQ(a.final_assignment[alg].rank, b.final_assignment[alg].rank);
+        EXPECT_EQ(a.final_assignment[alg].score, b.final_assignment[alg].score);
+    }
+}
 
 MeasurementSet three_tier_set() {
     MeasurementSet set;
@@ -233,4 +282,94 @@ TEST(Clustering, ScoreOfOutOfRangeRankIsZero) {
     EXPECT_DOUBLE_EQ(result.score_of(0, 0), 0.0);
     EXPECT_DOUBLE_EQ(result.score_of(0, 99), 0.0);
     EXPECT_THROW((void)result.final_rank(99), relperf::InvalidArgument);
+}
+
+TEST(Clustering, ScoreOfOutOfRangeAlgorithmThrows) {
+    // Regression: an out-of-range algorithm used to read past the cluster
+    // rows silently; it must throw like final_rank does.
+    const MeanComparator cmp;
+    const RelativeClusterer clusterer(cmp, ClustererConfig{10, 1});
+    const Clustering result = clusterer.cluster(three_tier_set());
+    EXPECT_THROW((void)result.score_of(99, 1), relperf::InvalidArgument);
+    EXPECT_THROW((void)result.score_of(result.final_assignment.size(), 1),
+                 relperf::InvalidArgument);
+}
+
+TEST(Clustering, ScoreOfIndexMatchesClusterScanFallback) {
+    const core::BootstrapComparator cmp(
+        core::BootstrapComparatorConfig{.rounds = 25});
+    const RelativeClusterer clusterer(cmp, ClustererConfig{25, 17});
+    const Clustering indexed = clusterer.cluster(overlapping_set(9, 3));
+    ASSERT_FALSE(indexed.memberships.empty());
+    Clustering scan = indexed;
+    scan.memberships.clear(); // hand-built Clustering shape
+    for (std::size_t alg = 0; alg < indexed.final_assignment.size(); ++alg) {
+        for (int r = 0; r <= indexed.cluster_count() + 1; ++r) {
+            EXPECT_EQ(indexed.score_of(alg, r), scan.score_of(alg, r));
+        }
+    }
+}
+
+TEST(RelativeClusterer, SparseMatchesDenseOracleBitForBit) {
+    // The tentpole claim: the sparse per-algorithm rank tallies produce the
+    // exact Clustering of the dense p x p counts matrix, across trivial,
+    // minimal, stochastic and wide inputs.
+    for (const std::size_t p : {std::size_t{1}, std::size_t{2}, std::size_t{17},
+                                std::size_t{256}}) {
+        SCOPED_TRACE("p = " + std::to_string(p));
+        const MeasurementSet set = overlapping_set(p, 11 + p);
+        const core::BootstrapComparator cmp(
+            core::BootstrapComparatorConfig{.rounds = 20});
+        const std::size_t reps = p >= 256 ? 4 : 25;
+        const RelativeClusterer clusterer(cmp, ClustererConfig{reps, 42});
+        expect_identical(clusterer.cluster(set), clusterer.cluster_dense(set));
+    }
+}
+
+TEST(RelativeClusterer, ContextReuseIsBitIdentical) {
+    // Round 2+ reuses the prepared shuffle orders and comparator streams; with
+    // nothing frozen the result must equal the context-free overload exactly.
+    const MeasurementSet set = overlapping_set(17, 3);
+    const core::BootstrapComparator cmp(
+        core::BootstrapComparatorConfig{.rounds = 25});
+    const RelativeClusterer clusterer(cmp, ClustererConfig{25, 7});
+    const Clustering plain = clusterer.cluster(set);
+    core::ClusterContext ctx;
+    expect_identical(plain, clusterer.cluster(set, ctx));
+    expect_identical(plain, clusterer.cluster(set, ctx));
+    EXPECT_EQ(ctx.reused_total(), 0u);
+}
+
+TEST(RelativeClusterer, FrozenPairReplayIsCountedAndKeepsFinalRanks) {
+    // Once a pair is frozen, its first outcome per repetition is cached and
+    // every later comparison of the pair replays it — including the later
+    // bubble passes of the same round, so even the first frozen round
+    // reports reuse. Replay shifts the comparator streams (the engine
+    // re-clusters cleanly before publishing for exactly that reason), but on
+    // this fixed seed the final class membership must not move.
+    const MeasurementSet set = overlapping_set(8, 5);
+    const core::BootstrapComparator cmp(
+        core::BootstrapComparatorConfig{.rounds = 25});
+    const RelativeClusterer clusterer(cmp, ClustererConfig{25, 9});
+    const Clustering plain = clusterer.cluster(set);
+
+    core::ClusterContext ctx;
+    expect_identical(plain, clusterer.cluster(set, ctx));
+    EXPECT_EQ(ctx.reused_total(), 0u); // nothing frozen yet
+
+    for (std::size_t alg = 0; alg < set.size(); ++alg) ctx.freeze(alg);
+    const Clustering frozen_first = clusterer.cluster(set, ctx);
+    EXPECT_GT(ctx.reused_last_round(), 0u);
+    const std::size_t after_first = ctx.reused_total();
+    EXPECT_EQ(after_first, ctx.reused_last_round());
+
+    // The next round replays across rounds too — strictly more reuse.
+    const Clustering frozen_second = clusterer.cluster(set, ctx);
+    EXPECT_GT(ctx.reused_last_round(), after_first);
+    EXPECT_EQ(ctx.reused_total(), after_first + ctx.reused_last_round());
+
+    for (std::size_t alg = 0; alg < set.size(); ++alg) {
+        EXPECT_EQ(frozen_first.final_rank(alg), plain.final_rank(alg));
+        EXPECT_EQ(frozen_second.final_rank(alg), plain.final_rank(alg));
+    }
 }

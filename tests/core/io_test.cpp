@@ -6,8 +6,21 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 namespace core = relperf::core;
+
+namespace {
+
+/// Writes `content` to a fresh temp file and returns its path.
+std::string write_temp(const std::string& name, const std::string& content) {
+    const std::string path = testing::TempDir() + name;
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    return path;
+}
+
+} // namespace
 
 TEST(MeasurementsCsv, ParsesSimpleContent) {
     const std::string content =
@@ -117,6 +130,59 @@ TEST(MeasurementsCsv, ErrorsNameTheSourceAndLineNumber) {
     expect_message("wrong,header\n", "shard_3.csv:1:");
     expect_message("algorithm,measurement_index,seconds\n,0,1.0\n",
                    "shard_3.csv:2: empty algorithm name");
+}
+
+TEST(MeasurementsCsv, FileAndStringEntryPointsShareOneParser) {
+    // Both entry points stream through the same parser core; the awkward
+    // cases (BOM, CRLF, comments, quoting, trailing blanks) must come out
+    // identical whether parsed from a string or streamed from a file.
+    const std::string content =
+        "\xEF\xBB\xBF# produced by a campaign shard\r\n"
+        "algorithm,measurement_index,seconds\r\n"
+        "\"alg,comma\",0,1.5\r\n"
+        "algDD,0,0.25\r\n"
+        "# mid-file comment\r\n"
+        "algDD,1,0.3125\r\n"
+        "\r\n";
+    const std::string path = write_temp("relperf_io_parity.csv", content);
+    const core::MeasurementSet from_string =
+        core::parse_measurements_csv(content, path);
+    const core::MeasurementSet from_file = core::read_measurements_csv(path);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(from_file.size(), from_string.size());
+    for (std::size_t i = 0; i < from_string.size(); ++i) {
+        EXPECT_EQ(from_file.name(i), from_string.name(i));
+        ASSERT_EQ(from_file.samples(i).size(), from_string.samples(i).size());
+        for (std::size_t k = 0; k < from_string.samples(i).size(); ++k) {
+            EXPECT_EQ(from_file.samples(i)[k], from_string.samples(i)[k]);
+        }
+    }
+}
+
+TEST(MeasurementsCsv, FileAndStringEntryPointsAgreeOnErrors) {
+    const std::string bad =
+        "algorithm,measurement_index,seconds\n"
+        "algDD,0,1.0\n"
+        "algDD,1,not-a-number\n";
+    const std::string path = write_temp("relperf_io_parity_bad.csv", bad);
+    std::string string_error;
+    std::string file_error;
+    try {
+        (void)core::parse_measurements_csv(bad, path);
+    } catch (const relperf::Error& e) {
+        string_error = e.what();
+    }
+    try {
+        (void)core::read_measurements_csv(path);
+    } catch (const relperf::Error& e) {
+        file_error = e.what();
+    }
+    std::remove(path.c_str());
+    ASSERT_FALSE(string_error.empty());
+    EXPECT_EQ(file_error, string_error);
+    EXPECT_NE(string_error.find(":3: bad seconds value"), std::string::npos)
+        << string_error;
 }
 
 TEST(MeasurementsCsv, HeaderOnlyFilesAreAnError) {

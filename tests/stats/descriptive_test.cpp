@@ -103,6 +103,36 @@ TEST(Quantile, OutOfRangePThrows) {
     EXPECT_THROW((void)stats::quantile(xs, 1.1), relperf::InvalidArgument);
 }
 
+TEST(Quantile, PartialSelectionMatchesFullSortBitForBit) {
+    // quantile_partial promises the exact double of quantile_sorted, not a
+    // close one — the bootstrap comparator's bit-identity rests on it.
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        stats::Rng rng(seed);
+        const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_index(200));
+        std::vector<double> xs;
+        xs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.lognormal(0.0, 0.7));
+        const std::vector<double> sorted = stats::sorted_copy(xs);
+        for (const double p : {0.0, 0.03, 0.25, 0.5, 0.77, 0.95, 1.0}) {
+            std::vector<double> scratch = xs; // reordered in place
+            EXPECT_EQ(stats::quantile_partial(scratch, p),
+                      stats::quantile_sorted(sorted, p))
+                << "seed " << seed << " n " << n << " p " << p;
+        }
+    }
+}
+
+TEST(Quantile, PartialSelectionValidatesInput) {
+    std::vector<double> empty;
+    EXPECT_THROW((void)stats::quantile_partial(empty, 0.5),
+                 relperf::InvalidArgument);
+    std::vector<double> xs = {1.0, 2.0};
+    EXPECT_THROW((void)stats::quantile_partial(xs, -0.1),
+                 relperf::InvalidArgument);
+    EXPECT_THROW((void)stats::quantile_partial(xs, 1.1),
+                 relperf::InvalidArgument);
+}
+
 class QuantileMonotonicity : public testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(QuantileMonotonicity, QuantileIsMonotoneInP) {
@@ -127,9 +157,15 @@ TEST(Median, EvenAndOddCounts) {
 }
 
 TEST(Mad, KnownValue) {
-    // median = 3, |x - 3| = {2,1,0,1,2}, median = 1 -> MAD = 1.4826.
+    // median = 3, |x - 3| = {2,1,0,1,2}, median = 1 -> MAD = 1.4826 * 1.0,
+    // exactly: the deviations' median is the integer 1, so the consistency
+    // constant passes through untouched (pins the single-sort rewrite).
     const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
-    EXPECT_NEAR(stats::mad(xs), 1.4826, 1e-12);
+    EXPECT_DOUBLE_EQ(stats::mad(xs), 1.4826);
+    // Unsorted input, even count: median = 2.5, deviations {1.5,0.5,0.5,1.5},
+    // their median 1.0 -> again exactly the constant.
+    const std::vector<double> ys = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(stats::mad(ys), 1.4826);
 }
 
 TEST(TrimmedMean, DropsTails) {
