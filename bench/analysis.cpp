@@ -1,11 +1,14 @@
 //! Analysis hot paths at scale: comparator score ns/op (against an in-bench
 //! reproduction of the pre-scratch two-full-sorts implementation), clusterer
 //! wall time vs p (sparse tallies, with the dense O(p^2) oracle at small p),
-//! and adaptive engine round cost with frozen-comparison reuse on vs off.
-//! This bench times its own loops with steady_clock (allowlisted in
+//! adaptive engine round cost with frozen-comparison reuse on vs off, and
+//! coordinated-stopping sample budgets vs shard count for both stopping
+//! rules. This bench times its own loops with steady_clock (allowlisted in
 //! ci/lint_allow.txt); nothing here feeds measurement CSVs.
 
 #include "bench_common.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
 #include "core/bootstrap_comparator.hpp"
 #include "core/clustering.hpp"
 #include "core/measurement_engine.hpp"
@@ -323,6 +326,61 @@ int main(int argc, char** argv) {
                             static_cast<double>(result.rounds)});
             rows.push_back({"engine", "saved_samples", param,
                             static_cast<double>(result.saved_samples())});
+        }
+    }
+
+    // --- Section 4: coordinated stopping — sample budget vs shard count. --
+    // The coordinator's stop decisions watch the *merged* clustering, so the
+    // per-algorithm counts should be K-invariant by construction; this
+    // section measures that claim (and the two stopping rules' budgets)
+    // instead of assuming it. The spec uses 4 task sizes = 16 placement
+    // algorithms so K = 16 is admissible — the sharder caps K at the
+    // variant count.
+    bench::section("Coordinated stopping (16 algorithms, K in {1, 4, 16})");
+    {
+        campaign::CampaignSpec spec;
+        spec.name = "bench-coordination";
+        spec.sizes = {40, 60, 90, 140};
+        spec.iters = 6;
+        spec.measurements = 30;
+        spec.measurement_seed = seed + 23;
+        spec.adaptive_min = 10;
+        spec.adaptive_batch = 5;
+        spec.adaptive_coordinated = true;
+        spec.clustering_repetitions = 40;
+        spec.bootstrap_rounds = 50;
+
+        for (const double confidence : {0.0, 0.95}) {
+            spec.adaptive_confidence = confidence;
+            const char* rule = confidence == 0.0 ? "stability" : "confidence";
+            for (const std::size_t k :
+                 {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+                const auto start = std::chrono::steady_clock::now();
+                const campaign::CoordinatedCampaignResult coordinated =
+                    campaign::run_coordinated_campaign(spec, k);
+                const double wall_ms = seconds_since(start) * 1e3;
+                checksum +=
+                    coordinated.analysis.clustering.final_assignment[0].score;
+
+                const std::size_t total = coordinated.analysis.total_samples;
+                const std::size_t saved =
+                    coordinated.analysis.fixed_n_samples - total;
+                std::printf("  %-10s K = %2zu : %3zu/%zu samples, saved %3zu "
+                            "(%zu rounds, %6.1f ms)\n",
+                            rule, k, total,
+                            coordinated.analysis.fixed_n_samples, saved,
+                            coordinated.rounds, wall_ms);
+                const std::string param =
+                    str::format("rule=%s,K=%zu", rule, k);
+                rows.push_back({"coordination", "total_samples", param,
+                                static_cast<double>(total)});
+                rows.push_back({"coordination", "saved_samples", param,
+                                static_cast<double>(saved)});
+                rows.push_back({"coordination", "rounds", param,
+                                static_cast<double>(coordinated.rounds)});
+                rows.push_back({"coordination", "run_wall_ms", param,
+                                wall_ms});
+            }
         }
     }
 

@@ -7,14 +7,19 @@ Asserts that
   * the header is exactly section,metric,param,value and every row is
     complete;
   * every value parses as a finite number;
-  * the three sections the bench promises (comparator, clusterer, engine)
-    are all present;
+  * the four sections the bench promises (comparator, clusterer, engine,
+    coordination) are all present;
   * the comparator speedup row exists and is not catastrophically below 1
     (threshold 0.5 — lenient on purpose: CI runners are noisy and this
     check guards against the optimization regressing outright, not against
     run-to-run jitter);
   * the clusterer section covers the documented problem sizes and the
-    engine section carries both the reuse=off and reuse=on round cost.
+    engine section carries both the reuse=off and reuse=on round cost;
+  * the coordination section covers both stopping rules at K in {1, 4, 16},
+    every run saved samples, and for each rule the saved count is
+    monotonically non-decreasing in K (coordinated stopping promises
+    K-invariant counts, so any *decrease* with more shards is a bug, not
+    noise — the values are deterministic).
 
 Exits non-zero with a message naming the first violated invariant.
 """
@@ -24,8 +29,10 @@ import math
 import sys
 
 EXPECTED_HEADER = ["section", "metric", "param", "value"]
-EXPECTED_SECTIONS = {"comparator", "clusterer", "engine"}
+EXPECTED_SECTIONS = {"comparator", "clusterer", "engine", "coordination"}
 SPEEDUP_FLOOR = 0.5
+COORDINATION_RULES = ("stability", "confidence")
+COORDINATION_SHARDS = (1, 4, 16)
 
 
 def fail(message: str) -> None:
@@ -92,6 +99,23 @@ def main() -> None:
             fail(f"{path}: engine round_wall_ms missing {expected}")
     if not find("engine", "round_speedup"):
         fail(f"{path}: no engine round_speedup row")
+
+    saved = find("coordination", "saved_samples")
+    for rule in COORDINATION_RULES:
+        previous = None
+        for shards in COORDINATION_SHARDS:
+            param = f"rule={rule},K={shards}"
+            if param not in saved:
+                fail(f"{path}: coordination saved_samples missing {param}")
+            value = saved[param]
+            if value <= 0:
+                fail(f"{path}: coordination {param} saved {value:.0f} "
+                     f"samples — adaptive stopping never fired")
+            if previous is not None and value < previous:
+                fail(f"{path}: coordination rule={rule} saved samples "
+                     f"decreased from {previous:.0f} to {value:.0f} as K "
+                     f"grew — coordinated counts must be K-invariant")
+            previous = value
 
     print(f"check_analysis_bench: OK ({len(rows)} rows, "
           f"sections {sorted(sections)})")

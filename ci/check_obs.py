@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Cross-check relperf's observability outputs against each other.
 
-Usage: check_obs.py TRACE_JSON METRICS_PROM SAMPLES_CSV
+Usage: check_obs.py TRACE_JSON METRICS_PROM SAMPLES_CSV [--coordinated]
 
 Asserts that
   * the trace file is valid JSON of the Chrome trace-event object form,
@@ -11,7 +11,11 @@ Asserts that
     relperf_build_info info metric;
   * relperf_samples_total equals the sum of the per-algorithm counts in the
     samples CSV — the metrics side and the measurement side of the run must
-    tell the same story.
+    tell the same story;
+  * with --coordinated (the run was a coordinated adaptive campaign): the
+    trace carries the campaign.coordinate span, both coordination counters
+    fired, and relperf_stopset_broadcast_total is a whole multiple of
+    relperf_coordination_rounds (each round broadcasts to every shard).
 
 Exits non-zero with a message naming the first violated invariant.
 """
@@ -26,7 +30,7 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
-def check_trace(path: str) -> None:
+def check_trace(path: str, coordinated: bool) -> None:
     with open(path, encoding="utf-8") as handle:
         try:
             trace = json.load(handle)
@@ -51,7 +55,10 @@ def check_trace(path: str) -> None:
             fail(f"{path}: event {i} has non-integer ts/dur")
         names.add(event["name"])
 
-    for expected in ("engine.run", "measure_all", "clusterer.cluster"):
+    expected_spans = ["engine.run", "measure_all", "clusterer.cluster"]
+    if coordinated:
+        expected_spans.append("campaign.coordinate")
+    for expected in expected_spans:
         if expected not in names:
             fail(f"{path}: no {expected!r} span recorded (saw {sorted(names)})")
 
@@ -81,7 +88,7 @@ def parse_metrics(path: str) -> dict:
     return values
 
 
-def check_metrics(path: str) -> int:
+def check_metrics(path: str, coordinated: bool) -> int:
     values = parse_metrics(path)
     for counter in ("relperf_samples_total", "relperf_samples_fixed_n_total",
                     "relperf_adaptive_rounds",
@@ -98,6 +105,22 @@ def check_metrics(path: str) -> int:
     if samples_total > fixed_n_total:
         fail(f"{path}: samples_total {samples_total} exceeds the fixed-N "
              f"plan cost {fixed_n_total}")
+
+    if coordinated:
+        for counter in ("relperf_coordination_rounds",
+                        "relperf_stopset_broadcast_total"):
+            if counter not in values:
+                fail(f"{path}: {counter} missing")
+        rounds = int(values["relperf_coordination_rounds"])
+        broadcasts = int(values["relperf_stopset_broadcast_total"])
+        if rounds <= 0:
+            fail(f"{path}: relperf_coordination_rounds = {rounds} — the "
+                 f"coordinator never ran a round")
+        if broadcasts <= 0 or broadcasts % rounds != 0:
+            fail(f"{path}: relperf_stopset_broadcast_total = {broadcasts} "
+                 f"is not a positive multiple of the {rounds} coordination "
+                 f"rounds — each round must broadcast to every shard")
+
     print(f"check_obs: {path}: {len(values)} samples OK, "
           f"samples_total={samples_total}")
     return samples_total
@@ -120,12 +143,16 @@ def csv_sample_sum(path: str) -> int:
 
 
 def main() -> None:
-    if len(sys.argv) != 4:
-        fail(f"usage: {sys.argv[0]} TRACE_JSON METRICS_PROM SAMPLES_CSV")
-    trace_path, metrics_path, samples_path = sys.argv[1:4]
+    argv = sys.argv[1:]
+    coordinated = "--coordinated" in argv
+    argv = [a for a in argv if a != "--coordinated"]
+    if len(argv) != 3:
+        fail(f"usage: {sys.argv[0]} TRACE_JSON METRICS_PROM SAMPLES_CSV "
+             f"[--coordinated]")
+    trace_path, metrics_path, samples_path = argv
 
-    check_trace(trace_path)
-    samples_total = check_metrics(metrics_path)
+    check_trace(trace_path, coordinated)
+    samples_total = check_metrics(metrics_path, coordinated)
     csv_total = csv_sample_sum(samples_path)
 
     if samples_total != csv_total:

@@ -70,6 +70,37 @@ core::MeasurementSet merge_shards(const CampaignSpec& spec,
                          spec.adaptive_stability)
                     .c_str()));
         }
+        if (m.adaptive_coordinated != spec.adaptive_coordinated) {
+            throw Error(str::format(
+                "merge_shards: shard %zu was measured under %s stopping, "
+                "this spec demands %s — the stop decisions watched a "
+                "different clustering, refusing to merge",
+                m.shard_index,
+                m.adaptive_coordinated ? "coordinated" : "shard-local",
+                spec.adaptive_coordinated ? "coordinated" : "shard-local"));
+        }
+        if (m.adaptive_confidence != spec.adaptive_confidence) {
+            const auto describe = [](double q) {
+                return q == 0.0 ? std::string("the stability rule")
+                                : str::format("confidence %.12g", q);
+            };
+            throw Error(str::format(
+                "merge_shards: shard %zu stopped on %s, this spec demands %s "
+                "— the per-algorithm sample counts differ, refusing to merge",
+                m.shard_index, describe(m.adaptive_confidence).c_str(),
+                describe(spec.adaptive_confidence).c_str()));
+        }
+        // Every shard of a coordinated run received the same broadcast
+        // history; a disagreement means the files come from different
+        // coordinator runs even if the plan hashes match.
+        if (spec.adaptive_coordinated &&
+            m.stopset_rounds != shards.front().manifest.stopset_rounds) {
+            throw Error(str::format(
+                "merge_shards: shard %zu records a different coordinator "
+                "stop-set history than shard %zu — the files come from "
+                "different coordinated runs, refusing to merge",
+                m.shard_index, shards.front().manifest.shard_index));
+        }
         if (m.spec_hash != expected_hash) {
             throw Error(str::format(
                 "merge_shards: shard %zu was measured under a different plan "
@@ -169,6 +200,13 @@ core::MeasurementSet merge_shards(const CampaignSpec& spec,
 core::AnalysisResult run_campaign(const CampaignSpec& spec,
                                   std::size_t shard_count,
                                   std::size_t workers) {
+    // Coordinated plans cannot run shard-by-shard (the stop decisions need
+    // the merged view between rounds), so route them through the
+    // coordinator; `workers` is moot there — the coordinator is one process
+    // driving one global engine.
+    if (spec.adaptive_coordinated) {
+        return run_coordinated_campaign(spec, shard_count).analysis;
+    }
     const LocalShardRunner runner(workers);
     const std::vector<ShardResult> shards = runner.run(spec, shard_count);
     core::MeasurementSet merged = merge_shards(spec, shards);

@@ -77,6 +77,14 @@ core::MeasurementSet measure_plan(const CampaignSpec& spec,
 ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
                       std::size_t shard_count) {
     spec.validate();
+    // A lone shard cannot honor a coordinated plan: the stop decisions need
+    // the merged view of all shards between rounds.
+    RELPERF_REQUIRE(!spec.adaptive_coordinated,
+                    "run_shard: the spec demands coordinated stopping, which "
+                    "re-clusters the merged measurements of all shards "
+                    "between rounds — run the campaign through "
+                    "run_coordinated_campaign (relperf_cli --coordinated "
+                    "--run) instead of per-shard execution");
     // Fail before measuring anything when this build cannot honor the
     // plan's backends (validate() deliberately does not check availability:
     // a collecting host without the backends must still be able to merge).
@@ -111,6 +119,10 @@ ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
         result.manifest.adaptive_min = spec.adaptive_min;
         result.manifest.adaptive_batch = spec.adaptive_batch;
         result.manifest.adaptive_stability = spec.adaptive_stability;
+        // Always shard-local here (coordinated specs are rejected above),
+        // but the stopping rule still has to be recorded: counts stopped by
+        // the confidence rule are not counts the stability rule produced.
+        result.manifest.adaptive_confidence = spec.adaptive_confidence;
     }
     result.measurements = measure_plan(spec, sharder.plan(shard_index));
     if (spec.adaptive()) {
@@ -122,6 +134,124 @@ ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
         }
     }
     return result;
+}
+
+CoordinatedCampaignResult run_coordinated_campaign(const CampaignSpec& spec,
+                                                   std::size_t shard_count) {
+    spec.validate();
+    RELPERF_REQUIRE(spec.adaptive(),
+                    "run_coordinated_campaign: spec is fixed-N — coordinated "
+                    "stopping needs an adaptive plan "
+                    "(adaptive_min_measurements)");
+    RELPERF_REQUIRE(spec.adaptive_coordinated,
+                    "run_coordinated_campaign: spec does not declare "
+                    "'adaptive_coordination = coordinated' — the key is part "
+                    "of the measurement plan and must be recorded");
+    (void)linalg::backend(spec.backend);
+    for (const std::string& name : spec.variant_backends) {
+        (void)linalg::backend(name);
+    }
+    const std::size_t count = effective_shard_count(spec, shard_count);
+    const std::vector<workloads::VariantAssignment> variants = spec.variants();
+    const Sharder sharder(variants.size(), count);
+
+    // The coordinator owns the round loop conceptually, but it does not need
+    // to own it mechanically: every variant draws from the stream derived
+    // from its *global* index, so "collect all shards' measurements,
+    // re-cluster the merged set, broadcast the stop-set" is value-identical
+    // to running the one engine over the full variant list — the merged
+    // clustering IS the engine's per-round clustering, and the global
+    // stop-set IS the engine's frozen set. The observer is where the
+    // broadcast becomes observable: one coordination round and K stop-set
+    // broadcasts per clustering, recorded for the shard manifests.
+    const workloads::TaskChain chain = spec.chain();
+    const core::StreamFactory streams = [&spec](std::size_t global) {
+        return stats::Rng(
+            core::assignment_stream_seed(spec.measurement_seed, global));
+    };
+    const core::AnalysisConfig analysis_cfg = spec.analysis_config();
+    const core::MeasurementEngine engine(
+        spec.adaptive_config(), analysis_cfg.comparator,
+        analysis_cfg.clustering);
+
+    CoordinatedCampaignResult out;
+    const core::RoundObserver observer = [&](const core::EngineRound& r) {
+        obs::Span round("campaign.coordinate", "campaign");
+        round.arg("round", static_cast<std::uint64_t>(r.round))
+            .arg("shards", static_cast<std::uint64_t>(count))
+            .arg("newly_stopped", static_cast<std::uint64_t>(r.newly_stopped))
+            .arg("stopset", static_cast<std::uint64_t>(r.stopped_total))
+            .arg("active", static_cast<std::uint64_t>(r.active));
+        obs::metrics().coordination_rounds.inc();
+        // The global stop-set goes out to every shard each round.
+        obs::metrics().stopset_broadcast_total.inc(count);
+        out.stopset_rounds.push_back(r.stopped_total);
+    };
+
+    core::EngineResult engine_result = [&] {
+        if (spec.executor == ExecutorKind::Sim) {
+            const sim::AnalyticCostModel model(platform_preset(spec.platform));
+            const sim::SimulatedExecutor executor(model, sim::NoiseModel{});
+            core::SimSampleSource source(executor, chain, variants, streams);
+            return engine.run(source, observer);
+        }
+        const sim::EmulatedDevice device{spec.device_threads, 0.0, 0.0};
+        const sim::EmulatedDevice accelerator{spec.accelerator_threads,
+                                              spec.dispatch_delay_us * 1e-6,
+                                              spec.switch_delay_us * 1e-6};
+        const sim::RealExecutor executor(device, accelerator);
+        core::RealSampleSource source(executor, chain, variants, streams,
+                                      spec.warmup);
+        return engine.run(source, observer);
+    }();
+    out.rounds = engine_result.rounds;
+
+    // Slice the global result into per-shard files. Manifests carry the
+    // coordinated plan and the broadcast history so a later merge_shards can
+    // verify every file came from the same coordinator run.
+    const std::string host = host_name();
+    out.shards.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        obs::metrics().shards_total.inc();
+        ShardResult shard;
+        ShardManifest& m = shard.manifest;
+        m.spec_hash = spec.hash();
+        m.shard_index = i;
+        m.shard_count = count;
+        m.campaign = spec.name;
+        m.host = host;
+        m.backend = spec.backend;
+        m.variant_backends = spec.variant_backends;
+        for (const obs::ProvenanceEntry& e : obs::provenance()) {
+            m.provenance.emplace_back(e.key, e.value);
+        }
+        m.adaptive_min = spec.adaptive_min;
+        m.adaptive_batch = spec.adaptive_batch;
+        m.adaptive_stability = spec.adaptive_stability;
+        m.adaptive_coordinated = true;
+        m.adaptive_confidence = spec.adaptive_confidence;
+        m.stopset_rounds = out.stopset_rounds;
+        const ShardPlan plan = sharder.plan(i);
+        m.samples_per_algorithm.reserve(plan.assignment_indices.size());
+        for (const std::size_t global : plan.assignment_indices) {
+            const auto samples = engine_result.measurements.samples(global);
+            shard.measurements.add(engine_result.measurements.name(global),
+                                   {samples.begin(), samples.end()});
+            m.samples_per_algorithm.push_back(
+                engine_result.samples_per_alg[global]);
+        }
+        out.shards.push_back(std::move(shard));
+    }
+
+    // The engine's published clustering is exactly what analyze_measurements
+    // would produce on the final merged measurements, so the analysis bundle
+    // is assembled directly — no re-clustering.
+    out.analysis.total_samples = engine_result.total_samples;
+    out.analysis.fixed_n_samples = engine_result.fixed_n_samples;
+    out.analysis.measurements = std::move(engine_result.measurements);
+    out.analysis.clustering = std::move(engine_result.clustering);
+    out.analysis.samples_per_alg = std::move(engine_result.samples_per_alg);
+    return out;
 }
 
 LocalShardRunner::LocalShardRunner(std::size_t workers) : workers_(workers) {

@@ -10,6 +10,7 @@
 
 #include "campaign/shard_io.hpp"
 #include "campaign/spec.hpp"
+#include "core/pipeline.hpp"
 
 #include <cstddef>
 #include <vector>
@@ -22,6 +23,38 @@ namespace relperf::campaign {
 [[nodiscard]] ShardResult run_shard(const CampaignSpec& spec,
                                     std::size_t shard_index,
                                     std::size_t shard_count = 0);
+
+/// Outcome of a coordinated adaptive campaign: the merged analysis plus the
+/// per-shard results (for shard-file emission) and the coordinator's
+/// broadcast history.
+struct CoordinatedCampaignResult {
+    /// Final merged analysis — measurements in global enumeration order,
+    /// clustering identical to analyze_measurements on them, with
+    /// fixed_n_samples restored to the plan's true cap.
+    core::AnalysisResult analysis;
+    /// Per-shard slices of the coordinated run, ordered by shard index. Each
+    /// manifest records the coordinated plan and the broadcast history, so
+    /// the files a coordinated campaign writes re-merge like any others.
+    std::vector<ShardResult> shards;
+    /// Cumulative global stop-set size after each coordinator round.
+    std::vector<std::size_t> stopset_rounds;
+    std::size_t rounds = 0; ///< Coordinator rounds (clusterings consulted).
+};
+
+/// Runs an adaptive campaign with cross-shard coordinated stopping: between
+/// rounds the coordinator re-clusters the *merged* measurements of all
+/// shards and broadcasts the global stop-set, so stop decisions watch the
+/// same statistic the final analysis reports. Because every variant draws
+/// from the stream derived from its global index and the stop-set is global,
+/// per-algorithm sample counts are K-invariant: shard_count only changes how
+/// the results are sliced into shard files, never a measured value — and
+/// with shard_count = 1 the run is bit-identical to the shard-local engine.
+/// Requires an adaptive spec with adaptive_coordinated set (the key is
+/// measurement-determining, so the manifests and the plan hash must record
+/// it; relperf_cli --coordinated sets it on the loaded spec). shard_count =
+/// 0 uses spec.shards.
+[[nodiscard]] CoordinatedCampaignResult run_coordinated_campaign(
+    const CampaignSpec& spec, std::size_t shard_count = 0);
 
 /// Runs every shard of a campaign on this machine.
 class LocalShardRunner {

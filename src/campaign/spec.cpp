@@ -80,6 +80,21 @@ void CampaignSpec::validate() const {
                         "campaign: adaptive_batch must be positive");
         RELPERF_REQUIRE(adaptive_stability > 0,
                         "campaign: adaptive_stability_rounds must be positive");
+        if (adaptive_confidence != 0.0) {
+            RELPERF_REQUIRE(adaptive_confidence > 0.5 &&
+                                adaptive_confidence < 1.0,
+                            "campaign: adaptive_confidence must be in "
+                            "(0.5, 1)");
+        }
+    } else {
+        // Coordination and confidence describe how adaptive rounds stop;
+        // without adaptive_min_measurements they would be silently inert.
+        RELPERF_REQUIRE(!adaptive_coordinated,
+                        "campaign: adaptive_coordination requires "
+                        "adaptive_min_measurements");
+        RELPERF_REQUIRE(adaptive_confidence == 0.0,
+                        "campaign: adaptive_confidence requires "
+                        "adaptive_min_measurements");
     }
     RELPERF_REQUIRE(shards > 0, "campaign: shards (K) must be positive");
     RELPERF_REQUIRE(device_threads >= 0 && accelerator_threads >= 0,
@@ -132,6 +147,16 @@ std::string CampaignSpec::to_text() const {
         out << "adaptive_min_measurements = " << adaptive_min << '\n';
         out << "adaptive_batch = " << adaptive_batch << '\n';
         out << "adaptive_stability_rounds = " << adaptive_stability << '\n';
+        // Same rule again one level down: the coordination and confidence
+        // keys appear only when set, so pre-coordination adaptive specs keep
+        // their exact bytes.
+        if (adaptive_coordinated) {
+            out << "adaptive_coordination = coordinated\n";
+        }
+        if (adaptive_confidence != 0.0) {
+            out << "adaptive_confidence = "
+                << str::format("%.12g", adaptive_confidence) << '\n';
+        }
     }
     out << "device_threads = " << device_threads << '\n';
     out << "accelerator_threads = " << accelerator_threads << '\n';
@@ -209,6 +234,19 @@ CampaignSpec CampaignSpec::parse(const std::string& text,
                 spec.adaptive_batch = str::parse_positive_size(value, key);
             } else if (key == "adaptive_stability_rounds") {
                 spec.adaptive_stability = str::parse_positive_size(value, key);
+            } else if (key == "adaptive_coordination") {
+                if (value == "coordinated") {
+                    spec.adaptive_coordinated = true;
+                } else if (value == "shard-local") {
+                    spec.adaptive_coordinated = false;
+                } else {
+                    throw InvalidArgument(
+                        "adaptive_coordination must be 'coordinated' or "
+                        "'shard-local', got '" +
+                        value + "'");
+                }
+            } else if (key == "adaptive_confidence") {
+                spec.adaptive_confidence = str::parse_double(value, key);
             } else if (key == "device_threads") {
                 spec.device_threads = static_cast<int>(str::parse_size(value, key));
             } else if (key == "accelerator_threads") {
@@ -246,7 +284,9 @@ CampaignSpec CampaignSpec::parse(const std::string& text,
     // stability do nothing without adaptive_min_measurements, and to_text()
     // would silently drop them on the next round trip.
     if (!seen.count("adaptive_min_measurements")) {
-        for (const char* knob : {"adaptive_batch", "adaptive_stability_rounds"}) {
+        for (const char* knob : {"adaptive_batch", "adaptive_stability_rounds",
+                                 "adaptive_coordination",
+                                 "adaptive_confidence"}) {
             if (seen.count(knob)) {
                 throw Error(source + ": invalid campaign spec: '" +
                             std::string(knob) +
@@ -323,6 +363,15 @@ std::uint64_t CampaignSpec::hash() const {
              << ";tie_epsilon=" << str::format("%.12g", tie_epsilon)
              << ";decision_threshold="
              << str::format("%.12g", decision_threshold);
+        // Coordination changes which clustering the stop decisions watch and
+        // confidence changes the stopping rule — both are measurement-
+        // determining. Emitted only when set so pre-coordination adaptive
+        // specs keep their plan hashes.
+        if (adaptive_coordinated) plan << ";adaptive_coordination=coordinated";
+        if (adaptive_confidence != 0.0) {
+            plan << ";adaptive_confidence="
+                 << str::format("%.12g", adaptive_confidence);
+        }
     }
 
     // FNV-1a 64-bit.
@@ -361,6 +410,10 @@ core::AdaptiveConfig CampaignSpec::adaptive_config() const {
     config.max_n = measurements;
     config.batch = adaptive_batch;
     config.stability_rounds = adaptive_stability;
+    if (adaptive_confidence != 0.0) {
+        config.rule = core::StoppingRuleKind::Confidence;
+        config.confidence = adaptive_confidence;
+    }
     return config;
 }
 

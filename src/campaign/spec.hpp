@@ -61,18 +61,32 @@ struct CampaignSpec {
     // measures every algorithm adaptive_min samples first and then extends
     // in adaptive_batch steps up to `measurements`, stopping an algorithm
     // once its performance-class membership was unchanged for
-    // adaptive_stability consecutive clusterings. Stopping decisions are
-    // *shard-local* (each shard clusters the algorithms it owns), so a
+    // adaptive_stability consecutive clusterings. Stopping decisions default
+    // to *shard-local* (each shard clusters the algorithms it owns), so a
     // sharded adaptive campaign is deterministic per split but may measure
     // different counts than the unsharded run; the sample *values* are
-    // prefix-identical in every case. The three keys enter the spec text and
-    // hash() only when adaptive is on, so fixed-N specs keep their exact
-    // bytes and plan hashes. Because the stopping rule consults the
-    // clusterer, the analysis knobs become measurement-determining for
-    // adaptive specs and join the hash as well.
+    // prefix-identical in every case. `adaptive_coordination = coordinated`
+    // instead stops on the *merged* clustering: between rounds the
+    // coordinator re-clusters all shards' measurements together and
+    // broadcasts the global stop-set, so per-algorithm counts are
+    // K-invariant and equal the unsharded engine's. `adaptive_confidence`
+    // (in (0.5, 1)) swaps the membership-stability stopping rule for the
+    // confidence-targeted one (core/stopping_rule.hpp). The adaptive keys
+    // enter the spec text and hash() only when adaptive is on — and the two
+    // new ones only when themselves set — so fixed-N specs and pre-
+    // coordination adaptive specs keep their exact bytes and plan hashes.
+    // Because the stopping rule consults the clusterer, the analysis knobs
+    // become measurement-determining for adaptive specs and join the hash as
+    // well.
     std::size_t adaptive_min = 0;       ///< Min N (0 = adaptive off).
     std::size_t adaptive_batch = 5;     ///< Samples added per round.
     std::size_t adaptive_stability = 2; ///< Stable clusterings before stop.
+    /// Cross-shard coordinated stopping (key value "coordinated"; the
+    /// default "shard-local" is never emitted).
+    bool adaptive_coordinated = false;
+    /// Confidence level of the confidence-targeted stopping rule; 0 (the
+    /// default, never emitted) keeps the membership-stability rule.
+    double adaptive_confidence = 0.0;
 
     // Real-executor emulation knobs (paper footnote 2), ignored for Sim.
     int device_threads = 1;        ///< OpenMP team of the emulated Device.

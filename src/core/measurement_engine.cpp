@@ -18,6 +18,10 @@ void AdaptiveConfig::validate() const {
     RELPERF_REQUIRE(batch > 0, "AdaptiveConfig: batch must be positive");
     RELPERF_REQUIRE(stability_rounds > 0,
                     "AdaptiveConfig: stability_rounds must be positive");
+    if (rule == StoppingRuleKind::Confidence) {
+        RELPERF_REQUIRE(confidence > 0.5 && confidence < 1.0,
+                        "AdaptiveConfig: confidence must be in (0.5, 1)");
+    }
 }
 
 VariantSampleSource::VariantSampleSource(
@@ -110,13 +114,15 @@ MeasurementEngine::MeasurementEngine(AdaptiveConfig adaptive,
     clustering_.validate();
 }
 
-EngineResult MeasurementEngine::run(SampleSource& source) const {
+EngineResult MeasurementEngine::run(SampleSource& source,
+                                    const RoundObserver& on_round) const {
     const std::size_t count = source.count();
     obs::Span span("engine.run", "engine");
     span.arg("algorithms", static_cast<std::uint64_t>(count))
         .arg("min_n", static_cast<std::uint64_t>(adaptive_.min_n))
         .arg("max_n", static_cast<std::uint64_t>(adaptive_.max_n))
-        .arg("batch", static_cast<std::uint64_t>(adaptive_.batch));
+        .arg("batch", static_cast<std::uint64_t>(adaptive_.batch))
+        .arg("rule", to_string(adaptive_.rule));
     // A round is one clustering consulted; the extension rounds beyond the
     // first add at most batch samples each, which bounds the meter.
     const std::size_t max_rounds =
@@ -137,48 +143,42 @@ EngineResult MeasurementEngine::run(SampleSource& source) const {
     // (see ClusterContext). With reuse off the context still avoids
     // re-deriving Rep shuffled orders every round, which is bit-identical.
     ClusterContext cluster_ctx;
-    std::vector<std::size_t> stable(count, 0);
+    const std::unique_ptr<StoppingRule> rule = make_stopping_rule(
+        adaptive_.rule, adaptive_.stability_rounds, adaptive_.confidence);
     std::vector<bool> stopped(count, false);
-    std::vector<int> previous_rank;
+    std::size_t stopped_total = 0;
     while (true) {
         obs::Span round_span("engine.round", "engine");
         obs::metrics().adaptive_rounds.inc();
         obs::report_progress("engine.round", out.rounds, max_rounds);
         Clustering clustering = clusterer.cluster(out.measurements, cluster_ctx);
-        std::vector<int> rank(count);
-        for (std::size_t i = 0; i < count; ++i) {
-            rank[i] = clustering.final_rank(i);
-        }
-        if (!previous_rank.empty()) {
-            for (std::size_t i = 0; i < count; ++i) {
-                // Frozen algorithms stay frozen: their stability counter is
-                // never read again, so skip the bookkeeping.
-                if (stopped[i]) continue;
-                if (rank[i] == previous_rank[i]) {
-                    ++stable[i];
-                } else {
-                    stable[i] = 0;
-                }
-            }
-        }
-        previous_rank = std::move(rank);
+        // Frozen algorithms stay frozen: their rule verdict is never read
+        // again, so the rule may skip their bookkeeping.
+        rule->observe(clustering, stopped);
 
         std::vector<std::size_t> extend;
+        std::size_t newly_stopped = 0;
         for (std::size_t i = 0; i < count; ++i) {
             if (stopped[i]) continue;
             if (out.samples_per_alg[i] >= adaptive_.max_n ||
-                stable[i] >= adaptive_.stability_rounds) {
+                rule->should_stop(i)) {
                 stopped[i] = true;
+                ++newly_stopped;
                 if (adaptive_.reuse_frozen_comparisons) cluster_ctx.freeze(i);
                 continue;
             }
             extend.push_back(i);
         }
+        stopped_total += newly_stopped;
         round_span.arg("round", static_cast<std::uint64_t>(out.rounds))
             .arg("extending", static_cast<std::uint64_t>(extend.size()))
             .arg("stopped", static_cast<std::uint64_t>(count - extend.size()))
             .arg("comparisons_reused",
                  static_cast<std::uint64_t>(cluster_ctx.reused_last_round()));
+        if (on_round) {
+            on_round(EngineRound{out.rounds, newly_stopped, stopped_total,
+                                 extend.size()});
+        }
         if (extend.empty()) {
             // The published clustering must be exactly what
             // analyze_measurements would compute on the final measurements.

@@ -10,9 +10,13 @@
 //! samples of every algorithm, clusters, and then keeps extending only the
 //! algorithms whose final cluster membership changed recently — an algorithm
 //! whose membership has been identical for `stability_rounds` consecutive
-//! clusterings stops being measured. On edge devices, where measurement cost
-//! dominates, this cuts the campaign's total measurements well below
-//! `count * max_n` while preserving the membership the fixed-N run finds.
+//! clusterings stops being measured. The decision is pluggable (see
+//! stopping_rule.hpp): the default membership-stability rule implements
+//! exactly that, and the confidence-targeted rule instead stops once the
+//! class-vs-runner-up score margin is significant at a configured confidence.
+//! On edge devices, where measurement cost dominates, this cuts the
+//! campaign's total measurements well below `count * max_n` while preserving
+//! the membership the fixed-N run finds.
 //!
 //! Determinism contract: every algorithm draws from its own persistent RNG
 //! stream (SampleSource keeps the stream open across rounds), so an
@@ -25,10 +29,12 @@
 #include "core/bootstrap_comparator.hpp"
 #include "core/clustering.hpp"
 #include "core/measurement.hpp"
+#include "core/stopping_rule.hpp"
 #include "sim/executor.hpp"
 #include "sim/real_executor.hpp"
 #include "workloads/chain.hpp"
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -43,8 +49,13 @@ struct AdaptiveConfig {
     std::size_t max_n = 30; ///< Hard cap — the fixed-N budget per algorithm.
     std::size_t batch = 5;  ///< Samples added per algorithm per round.
     /// Consecutive clusterings with unchanged final membership after which an
-    /// algorithm stops being measured.
+    /// algorithm stops being measured (MembershipStabilityRule).
     std::size_t stability_rounds = 2;
+    /// Which stopping rule decides when an algorithm is settled.
+    StoppingRuleKind rule = StoppingRuleKind::Stability;
+    /// One-sided confidence level of the ConfidenceTargetRule's margin CI,
+    /// in (0.5, 1). Only read when `rule == StoppingRuleKind::Confidence`.
+    double confidence = 0.95;
     /// Replay comparison outcomes between pairs of already-stopped
     /// algorithms across rounds instead of re-running the bootstrap (their
     /// samples can no longer change, so the cached outcome is a draw of the
@@ -158,11 +169,32 @@ struct EngineResult {
     std::size_t total_samples = 0;  ///< Sum of samples_per_alg.
     std::size_t fixed_n_samples = 0; ///< count * max_n — the fixed-N cost.
 
-    /// Measurements the early stopping saved vs the fixed-N plan.
+    /// Measurements the early stopping saved vs the fixed-N plan. The engine
+    /// never measures past max_n, so total_samples > fixed_n_samples means a
+    /// caller assembled the result by hand (asserted in debug builds); the
+    /// difference clamps at 0 instead of wrapping.
     [[nodiscard]] std::size_t saved_samples() const noexcept {
-        return fixed_n_samples - total_samples;
+        assert(total_samples <= fixed_n_samples &&
+               "EngineResult: total_samples exceeds the fixed-N budget");
+        return fixed_n_samples > total_samples
+                   ? fixed_n_samples - total_samples
+                   : 0;
     }
 };
+
+/// Per-round progress snapshot handed to a RoundObserver after the round's
+/// stop decisions and before the next extension draw.
+struct EngineRound {
+    std::size_t round = 0;         ///< 1-based round number.
+    std::size_t newly_stopped = 0; ///< Algorithms frozen by this round.
+    std::size_t stopped_total = 0; ///< Cumulative frozen count.
+    std::size_t active = 0;        ///< Algorithms still extending.
+};
+
+/// Between-round callback — how the campaign coordinator broadcasts the
+/// global stop-set (spans, counters, per-round manifests) without owning the
+/// engine loop. Fires once per round, including the final one.
+using RoundObserver = std::function<void(const EngineRound&)>;
 
 /// "measured X of Y fixed-N samples, saved Z (P%)" — the human-readable
 /// savings line the CLI and the benches print (and the smoke tests grep);
@@ -179,7 +211,8 @@ public:
                       BootstrapComparatorConfig comparator = {},
                       ClustererConfig clustering = {});
 
-    [[nodiscard]] EngineResult run(SampleSource& source) const;
+    [[nodiscard]] EngineResult run(SampleSource& source,
+                                   const RoundObserver& on_round = {}) const;
 
     [[nodiscard]] const AdaptiveConfig& config() const noexcept {
         return adaptive_;

@@ -1,0 +1,133 @@
+#include "core/stopping_rule.hpp"
+
+#include "stats/descriptive.hpp"
+#include "support/error.hpp"
+
+#include <cmath>
+
+namespace relperf::core {
+
+const char* to_string(StoppingRuleKind kind) noexcept {
+    switch (kind) {
+    case StoppingRuleKind::Stability: return "stability";
+    case StoppingRuleKind::Confidence: return "confidence";
+    }
+    return "unknown";
+}
+
+MembershipStabilityRule::MembershipStabilityRule(std::size_t stability_rounds)
+    : stability_rounds_(stability_rounds) {
+    RELPERF_REQUIRE(stability_rounds > 0,
+                    "MembershipStabilityRule: stability_rounds must be > 0");
+}
+
+void MembershipStabilityRule::observe(const Clustering& clustering,
+                                      const std::vector<bool>& stopped) {
+    const std::size_t n = clustering.final_assignment.size();
+    RELPERF_REQUIRE(stopped.size() == n,
+                    "MembershipStabilityRule: stopped/clustering size mismatch");
+    if (stable_.empty()) stable_.assign(n, 0);
+    RELPERF_REQUIRE(stable_.size() == n,
+                    "MembershipStabilityRule: algorithm count changed mid-run");
+
+    std::vector<int> rank(n, 0);
+    for (std::size_t i = 0; i < n; ++i) rank[i] = clustering.final_rank(i);
+
+    // The first clustering only seeds previous_rank_; the stability counter
+    // starts moving from the second, exactly as the engine's original inline
+    // bookkeeping did.
+    if (!previous_rank_.empty()) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (stopped[i]) continue;
+            if (rank[i] == previous_rank_[i]) {
+                ++stable_[i];
+            } else {
+                stable_[i] = 0;
+            }
+        }
+    }
+    previous_rank_ = std::move(rank);
+}
+
+bool MembershipStabilityRule::should_stop(std::size_t alg) const {
+    RELPERF_REQUIRE(alg < stable_.size(),
+                    "MembershipStabilityRule: should_stop before observe");
+    return stable_[alg] >= stability_rounds_;
+}
+
+ConfidenceTargetRule::ConfidenceTargetRule(double confidence) {
+    RELPERF_REQUIRE(confidence > 0.5 && confidence < 1.0,
+                    "ConfidenceTargetRule: confidence must be in (0.5, 1)");
+    z_ = stats::normal_quantile(confidence);
+}
+
+void ConfidenceTargetRule::observe(const Clustering& clustering,
+                                   const std::vector<bool>& stopped) {
+    const std::size_t n = clustering.final_assignment.size();
+    RELPERF_REQUIRE(stopped.size() == n,
+                    "ConfidenceTargetRule: stopped/clustering size mismatch");
+    if (verdict_.empty()) verdict_.assign(n, false);
+    RELPERF_REQUIRE(verdict_.size() == n,
+                    "ConfidenceTargetRule: algorithm count changed mid-run");
+
+    const std::size_t rep = clustering.repetitions;
+    const std::size_t cluster_count = clustering.clusters.size();
+    std::vector<int> rank(n, 0);
+    for (std::size_t i = 0; i < n; ++i) rank[i] = clustering.final_rank(i);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (stopped[i]) {
+            verdict_[i] = false;
+            continue;
+        }
+        // Never stop on the very first clustering, and require the winning
+        // class to repeat: a single round's margin can be confidently wrong
+        // while the empirical quantiles still drift under fresh samples.
+        const bool repeated =
+            !previous_rank_.empty() && rank[i] == previous_rank_[i];
+        if (!repeated || rep == 0) {
+            verdict_[i] = false;
+            continue;
+        }
+        // Relative scores are per-class win proportions over the clusterer's
+        // Rep repeated stochastic sorts (each repetition assigns the
+        // algorithm to exactly one class, so the scores are multinomial
+        // proportions). Margin of the winning class over the runner-up:
+        //   Var(p1_hat - p2_hat) = (p1(1-p1) + p2(1-p2) + 2 p1 p2) / Rep
+        // (the +2 p1 p2 term is -2 Cov for multinomial counts). Stop when
+        // the one-sided lower bound margin - z * SE clears zero.
+        const double p1 = clustering.score_of(i, rank[i]);
+        double p2 = 0.0;
+        for (std::size_t r = 1; r <= cluster_count; ++r) {
+            if (static_cast<int>(r) == rank[i]) continue;
+            p2 = std::max(p2, clustering.score_of(i, static_cast<int>(r)));
+        }
+        const double margin = p1 - p2;
+        const double se =
+            std::sqrt((p1 * (1.0 - p1) + p2 * (1.0 - p2) + 2.0 * p1 * p2) /
+                      static_cast<double>(rep));
+        verdict_[i] = margin - z_ * se > 0.0;
+    }
+    previous_rank_ = std::move(rank);
+}
+
+bool ConfidenceTargetRule::should_stop(std::size_t alg) const {
+    RELPERF_REQUIRE(alg < verdict_.size(),
+                    "ConfidenceTargetRule: should_stop before observe");
+    return verdict_[alg];
+}
+
+std::unique_ptr<StoppingRule> make_stopping_rule(StoppingRuleKind kind,
+                                                 std::size_t stability_rounds,
+                                                 double confidence) {
+    switch (kind) {
+    case StoppingRuleKind::Stability:
+        return std::make_unique<MembershipStabilityRule>(stability_rounds);
+    case StoppingRuleKind::Confidence:
+        return std::make_unique<ConfidenceTargetRule>(confidence);
+    }
+    RELPERF_REQUIRE(false, "make_stopping_rule: unknown StoppingRuleKind");
+    return nullptr;
+}
+
+} // namespace relperf::core

@@ -222,6 +222,14 @@ const Metrics& metrics() {
                            "Campaign shards measured in this process."),
         registry().counter("relperf_shard_merges_total",
                            "merge_shards invocations."),
+        registry().counter(
+            "relperf_coordination_rounds",
+            "Coordinator rounds of coordinated adaptive campaigns (one "
+            "merged re-clustering per round)."),
+        registry().counter(
+            "relperf_stopset_broadcast_total",
+            "Global stop-set broadcasts to shards (shard count per "
+            "coordination round)."),
         registry().histogram(
             "relperf_shard_seconds", "Wall seconds spent measuring a shard.",
             {0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0}),

@@ -141,6 +141,8 @@ struct Metrics {
     Counter& executions_total;       ///< executor run_once invocations
     Counter& shards_total;           ///< campaign shards measured
     Counter& shard_merges_total;     ///< merge_shards calls
+    Counter& coordination_rounds;    ///< coordinator round-loop iterations
+    Counter& stopset_broadcast_total; ///< per-shard stop-set broadcasts
     Histogram& shard_seconds;        ///< wall seconds per shard
 };
 

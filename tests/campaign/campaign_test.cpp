@@ -431,3 +431,153 @@ TEST(CampaignAdaptive, MergeRejectsCountsThePlanCannotReach) {
     s0.measurements = std::move(tampered);
     EXPECT_THROW((void)campaign::merge_shards(spec, {s0, s1}), relperf::Error);
 }
+
+namespace {
+
+campaign::CampaignSpec coordinated_spec() {
+    campaign::CampaignSpec spec = adaptive_spec();
+    spec.adaptive_coordinated = true;
+    return spec;
+}
+
+} // namespace
+
+TEST(CampaignCoordinated, CountsAreKInvariantAndStopHistoryAgrees) {
+    // The coordinator's stop decisions watch the merged clustering, so the
+    // per-algorithm counts, the round count, the stop-set history and the
+    // final clustering must not depend on how the campaign is split.
+    const campaign::CampaignSpec spec = coordinated_spec();
+    const campaign::CoordinatedCampaignResult k1 =
+        campaign::run_coordinated_campaign(spec, 1);
+    EXPECT_LT(k1.analysis.total_samples, k1.analysis.fixed_n_samples);
+    ASSERT_FALSE(k1.stopset_rounds.empty());
+    EXPECT_EQ(k1.stopset_rounds.size(), k1.rounds);
+    // The final broadcast stops everyone.
+    EXPECT_EQ(k1.stopset_rounds.back(), k1.analysis.measurements.size());
+
+    for (const std::size_t k : {2u, 4u, 8u}) {
+        const campaign::CoordinatedCampaignResult kr =
+            campaign::run_coordinated_campaign(spec, k);
+        EXPECT_EQ(kr.analysis.samples_per_alg, k1.analysis.samples_per_alg)
+            << "K = " << k;
+        EXPECT_EQ(kr.rounds, k1.rounds);
+        EXPECT_EQ(kr.stopset_rounds, k1.stopset_rounds);
+        expect_sets_identical(kr.analysis.measurements,
+                              k1.analysis.measurements);
+        expect_clusterings_identical(kr.analysis.clustering,
+                                     k1.analysis.clustering);
+        ASSERT_EQ(kr.shards.size(), k);
+    }
+}
+
+TEST(CampaignCoordinated, SingleShardEqualsShardLocalBitForBit) {
+    // With K = 1 the merged clustering IS the shard's clustering, so
+    // coordinated and shard-local stopping see identical inputs and must
+    // make identical decisions — measurement for measurement.
+    const campaign::CampaignSpec coordinated = coordinated_spec();
+    const campaign::CampaignSpec shard_local = adaptive_spec();
+    const campaign::CoordinatedCampaignResult coord =
+        campaign::run_coordinated_campaign(coordinated, 1);
+    const campaign::ShardResult local = campaign::run_shard(shard_local, 0, 1);
+    expect_sets_identical(coord.analysis.measurements, local.measurements);
+    ASSERT_EQ(coord.shards.size(), 1u);
+    EXPECT_EQ(coord.shards[0].manifest.samples_per_algorithm,
+              local.manifest.samples_per_algorithm);
+}
+
+TEST(CampaignCoordinated, ShardManifestsCarryThePlanAndMergeRoundTrips) {
+    const campaign::CampaignSpec spec = [] {
+        campaign::CampaignSpec s = coordinated_spec();
+        s.adaptive_confidence = 0.95;
+        return s;
+    }();
+    const campaign::CoordinatedCampaignResult coord =
+        campaign::run_coordinated_campaign(spec, 3);
+    for (const campaign::ShardResult& shard : coord.shards) {
+        EXPECT_TRUE(shard.manifest.adaptive_coordinated);
+        EXPECT_DOUBLE_EQ(shard.manifest.adaptive_confidence, 0.95);
+        EXPECT_EQ(shard.manifest.stopset_rounds, coord.stopset_rounds);
+        EXPECT_EQ(shard.manifest.spec_hash, spec.hash());
+        ASSERT_EQ(shard.manifest.samples_per_algorithm.size(),
+                  shard.measurements.size());
+        for (std::size_t i = 0; i < shard.measurements.size(); ++i) {
+            EXPECT_EQ(shard.manifest.samples_per_algorithm[i],
+                      shard.measurements.samples(i).size());
+        }
+    }
+
+    // The slices merge back to exactly the coordinator's merged set —
+    // through the on-disk shard files, like a distributed collect would.
+    std::vector<campaign::ShardResult> loaded;
+    for (const campaign::ShardResult& shard : coord.shards) {
+        const std::string path =
+            testing::TempDir() + "relperf_coord_shard_" +
+            std::to_string(shard.manifest.shard_index) + ".csv";
+        campaign::write_shard_csv(shard, path);
+        loaded.push_back(campaign::read_shard_csv(path));
+        std::remove(path.c_str());
+    }
+    expect_sets_identical(campaign::merge_shards(spec, loaded),
+                          coord.analysis.measurements);
+}
+
+TEST(CampaignCoordinated, MergeRejectsMismatchedCoordinationPlans) {
+    const campaign::CampaignSpec spec = coordinated_spec();
+    const campaign::CoordinatedCampaignResult coord =
+        campaign::run_coordinated_campaign(spec, 2);
+
+    // Shard-local shards under a coordinated spec (and vice versa).
+    std::vector<campaign::ShardResult> shards = coord.shards;
+    shards[1].manifest.adaptive_coordinated = false;
+    EXPECT_THROW((void)campaign::merge_shards(spec, shards), relperf::Error);
+    const campaign::CampaignSpec shard_local = adaptive_spec();
+    EXPECT_THROW((void)campaign::merge_shards(shard_local, coord.shards),
+                 relperf::Error);
+
+    // A shard that stopped on a different rule.
+    shards = coord.shards;
+    shards[0].manifest.adaptive_confidence = 0.99;
+    EXPECT_THROW((void)campaign::merge_shards(spec, shards), relperf::Error);
+
+    // A shard from a different coordinator run (divergent stop-set history).
+    shards = coord.shards;
+    shards[1].manifest.stopset_rounds.back() += 1;
+    EXPECT_THROW((void)campaign::merge_shards(spec, shards), relperf::Error);
+
+    EXPECT_NO_THROW((void)campaign::merge_shards(spec, coord.shards));
+}
+
+TEST(CampaignCoordinated, RunShardRejectsCoordinatedSpecs) {
+    // A lone shard runner cannot see the merged clustering, so measuring a
+    // coordinated spec shard-by-shard would silently produce shard-local
+    // counts under a coordinated plan hash.
+    const campaign::CampaignSpec spec = coordinated_spec();
+    EXPECT_THROW((void)campaign::run_shard(spec, 0, 2),
+                 relperf::InvalidArgument);
+    EXPECT_THROW((void)campaign::LocalShardRunner(2).run(spec, 2),
+                 relperf::InvalidArgument);
+}
+
+TEST(CampaignCoordinated, RunCampaignRoutesCoordinatedSpecs) {
+    const campaign::CampaignSpec spec = coordinated_spec();
+    const core::AnalysisResult via_campaign = campaign::run_campaign(spec, 3);
+    const campaign::CoordinatedCampaignResult direct =
+        campaign::run_coordinated_campaign(spec, 3);
+    expect_sets_identical(via_campaign.measurements,
+                          direct.analysis.measurements);
+    expect_clusterings_identical(via_campaign.clustering,
+                                 direct.analysis.clustering);
+    EXPECT_EQ(via_campaign.fixed_n_samples, direct.analysis.fixed_n_samples);
+    EXPECT_EQ(via_campaign.total_samples, direct.analysis.total_samples);
+}
+
+TEST(CampaignCoordinated, RequiresAnAdaptiveCoordinatedSpec) {
+    // Fixed-N specs have no rounds to coordinate; shard-local adaptive specs
+    // must go through run_shard/run_campaign.
+    EXPECT_THROW(
+        (void)campaign::run_coordinated_campaign(small_spec(), 2),
+        relperf::Error);
+    EXPECT_THROW(
+        (void)campaign::run_coordinated_campaign(adaptive_spec(), 2),
+        relperf::Error);
+}

@@ -244,3 +244,55 @@ TEST(ShardIoAdaptive, WriterRejectsDivergentDeclaredCounts) {
     EXPECT_THROW(campaign::write_shard_csv(shard, path), relperf::Error);
     std::remove(path.c_str());
 }
+
+TEST(ShardIoCoordinated, ManifestRoundTripsAndPlainAdaptiveFilesStayClean) {
+    campaign::ShardResult original = adaptive_shard();
+    original.manifest.adaptive_coordinated = true;
+    original.manifest.adaptive_confidence = 0.95;
+    original.manifest.stopset_rounds = {0, 1, 2};
+    const std::string path =
+        testing::TempDir() + "relperf_shard_coordinated.csv";
+    campaign::write_shard_csv(original, path);
+    const campaign::ShardResult loaded = campaign::read_shard_csv(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(loaded.manifest.adaptive_coordinated);
+    EXPECT_DOUBLE_EQ(loaded.manifest.adaptive_confidence, 0.95);
+    EXPECT_EQ(loaded.manifest.stopset_rounds,
+              (std::vector<std::size_t>{0, 1, 2}));
+
+    // A shard-local adaptive shard keeps the exact pre-coordination file
+    // form, and the reader defaults all three new fields off.
+    const std::string plain_path =
+        testing::TempDir() + "relperf_shard_plain_adaptive.csv";
+    campaign::write_shard_csv(adaptive_shard(), plain_path);
+    std::ifstream in(plain_path);
+    const std::string content((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    EXPECT_EQ(content.find("coordination"), std::string::npos);
+    EXPECT_EQ(content.find("confidence"), std::string::npos);
+    EXPECT_EQ(content.find("stopset"), std::string::npos);
+    const campaign::ShardResult plain = campaign::read_shard_csv(plain_path);
+    std::remove(plain_path.c_str());
+    EXPECT_FALSE(plain.manifest.adaptive_coordinated);
+    EXPECT_DOUBLE_EQ(plain.manifest.adaptive_confidence, 0.0);
+    EXPECT_TRUE(plain.manifest.stopset_rounds.empty());
+}
+
+TEST(ShardIoCoordinated, BadCoordinationValueNamesTheLine) {
+    campaign::ShardResult shard = adaptive_shard();
+    shard.manifest.adaptive_coordinated = true;
+    const std::string path = testing::TempDir() + "relperf_shard_badcoord.csv";
+    campaign::write_shard_csv(shard, path);
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+    const std::string line = "# adaptive_coordination = coordinated";
+    ASSERT_NE(content.find(line), std::string::npos);
+    content.replace(content.find(line), line.size(),
+                    "# adaptive_coordination = telepathic");
+    const std::string bad = write_temp(content, "relperf_badcoord2.csv");
+    EXPECT_THROW((void)campaign::read_shard_csv(bad), relperf::Error);
+    std::remove(bad.c_str());
+    std::remove(path.c_str());
+}

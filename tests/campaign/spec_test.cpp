@@ -280,3 +280,94 @@ TEST(CampaignSpecAdaptive, InertKnobsAreRejectedAtParse) {
                              "adaptive_batch = 3\n";
     EXPECT_THROW((void)campaign::CampaignSpec::parse(zero), relperf::Error);
 }
+
+TEST(CampaignSpecCoordinated, KeysRoundTripAndOnlyAppearWhenSet) {
+    campaign::CampaignSpec adaptive = sample_spec();
+    adaptive.adaptive_min = 4;
+    // Pre-coordination adaptive specs keep their exact bytes: neither new
+    // key is emitted while unset.
+    EXPECT_EQ(adaptive.to_text().find("adaptive_coordination"),
+              std::string::npos);
+    EXPECT_EQ(adaptive.to_text().find("adaptive_confidence"),
+              std::string::npos);
+
+    campaign::CampaignSpec coordinated = adaptive;
+    coordinated.adaptive_coordinated = true;
+    coordinated.adaptive_confidence = 0.95;
+    EXPECT_NE(coordinated.to_text().find("adaptive_coordination = coordinated"),
+              std::string::npos);
+    EXPECT_NE(coordinated.to_text().find("adaptive_confidence = 0.95"),
+              std::string::npos);
+    const campaign::CampaignSpec loaded =
+        campaign::CampaignSpec::parse(coordinated.to_text());
+    EXPECT_TRUE(loaded.adaptive_coordinated);
+    EXPECT_DOUBLE_EQ(loaded.adaptive_confidence, 0.95);
+    EXPECT_EQ(loaded.to_text(), coordinated.to_text());
+    EXPECT_EQ(loaded.hash(), coordinated.hash());
+
+    // The explicit default coordination value parses but is never emitted.
+    const campaign::CampaignSpec shard_local = campaign::CampaignSpec::parse(
+        adaptive.to_text() + "adaptive_coordination = shard-local\n");
+    EXPECT_FALSE(shard_local.adaptive_coordinated);
+    EXPECT_EQ(shard_local.to_text(), adaptive.to_text());
+}
+
+TEST(CampaignSpecCoordinated, NewKeysEnterTheHashOnlyWhenSet) {
+    campaign::CampaignSpec adaptive = sample_spec();
+    adaptive.adaptive_min = 4;
+
+    // Coordination changes which clustering the stop decisions watch, and
+    // the confidence level changes the stopping rule: both are
+    // measurement-determining.
+    campaign::CampaignSpec coordinated = adaptive;
+    coordinated.adaptive_coordinated = true;
+    EXPECT_NE(coordinated.hash(), adaptive.hash());
+    campaign::CampaignSpec confident = adaptive;
+    confident.adaptive_confidence = 0.95;
+    EXPECT_NE(confident.hash(), adaptive.hash());
+    EXPECT_NE(confident.hash(), coordinated.hash());
+    campaign::CampaignSpec other_level = confident;
+    other_level.adaptive_confidence = 0.99;
+    EXPECT_NE(other_level.hash(), confident.hash());
+}
+
+TEST(CampaignSpecCoordinated, Validation) {
+    campaign::CampaignSpec spec = sample_spec();
+    spec.adaptive_min = 4;
+    spec.adaptive_confidence = 0.5; // must be in (0.5, 1)
+    EXPECT_THROW(spec.validate(), relperf::Error);
+    spec.adaptive_confidence = 1.0;
+    EXPECT_THROW(spec.validate(), relperf::Error);
+    spec.adaptive_confidence = 0.95;
+    EXPECT_NO_THROW(spec.validate());
+    const relperf::core::AdaptiveConfig config = spec.adaptive_config();
+    EXPECT_EQ(config.rule, relperf::core::StoppingRuleKind::Confidence);
+    EXPECT_DOUBLE_EQ(config.confidence, 0.95);
+    // Unset confidence keeps the stability rule.
+    spec.adaptive_confidence = 0.0;
+    EXPECT_EQ(spec.adaptive_config().rule,
+              relperf::core::StoppingRuleKind::Stability);
+
+    // Both knobs are inert without adaptive_min: rejected, not dropped.
+    spec = sample_spec();
+    spec.adaptive_coordinated = true;
+    EXPECT_THROW(spec.validate(), relperf::Error);
+    spec = sample_spec();
+    spec.adaptive_confidence = 0.95;
+    EXPECT_THROW(spec.validate(), relperf::Error);
+}
+
+TEST(CampaignSpecCoordinated, InertKeysAndBadValuesAreRejectedAtParse) {
+    const campaign::CampaignSpec spec = sample_spec();
+    EXPECT_THROW((void)campaign::CampaignSpec::parse(
+                     spec.to_text() + "adaptive_coordination = coordinated\n"),
+                 relperf::Error);
+    EXPECT_THROW((void)campaign::CampaignSpec::parse(
+                     spec.to_text() + "adaptive_confidence = 0.95\n"),
+                 relperf::Error);
+    campaign::CampaignSpec adaptive = sample_spec();
+    adaptive.adaptive_min = 4;
+    EXPECT_THROW((void)campaign::CampaignSpec::parse(
+                     adaptive.to_text() + "adaptive_coordination = sometimes\n"),
+                 relperf::Error);
+}

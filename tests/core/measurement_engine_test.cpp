@@ -170,6 +170,99 @@ TEST(MeasurementEngine, StableMembershipStopsAfterStabilityRounds) {
               result.clustering.final_rank(2));
 }
 
+TEST(MeasurementEngine, ConfidenceRuleStopsOneRoundAfterMembershipRepeats) {
+    // Two clearly separated classes: every clustering is unanimous (score
+    // 1.0, margin 1 with zero variance), so the confidence rule stops every
+    // algorithm on the exact round its membership first *repeats* — round 2.
+    // The stability rule at the default stability_rounds = 2 needs round 3
+    // on the same source (see StableMembershipStopsAfterStabilityRounds),
+    // so this pins both the stop round and the rule's cost advantage.
+    core::AdaptiveConfig adaptive;
+    adaptive.min_n = 5;
+    adaptive.max_n = 30;
+    adaptive.batch = 3;
+    adaptive.rule = core::StoppingRuleKind::Confidence;
+    adaptive.confidence = 0.95;
+    ScriptedSource source = two_classes();
+    const core::EngineResult result = engine_for(adaptive).run(source);
+
+    EXPECT_EQ(result.rounds, 2u);
+    EXPECT_EQ(result.samples_per_alg, (std::vector<std::size_t>{8, 8, 8}));
+    EXPECT_EQ(result.total_samples, 24u);
+    EXPECT_EQ(result.fixed_n_samples, 90u);
+    EXPECT_EQ(result.saved_samples(), 66u);
+    for (std::size_t i = 0; i < source.count(); ++i) {
+        EXPECT_EQ(source.draw_sizes_[i], (std::vector<std::size_t>{5, 3}));
+    }
+    EXPECT_EQ(result.clustering.final_rank(0),
+              result.clustering.final_rank(1));
+    EXPECT_NE(result.clustering.final_rank(0),
+              result.clustering.final_rank(2));
+}
+
+TEST(MeasurementEngine, ConfidenceConfigValidation) {
+    core::AdaptiveConfig config;
+    config.rule = core::StoppingRuleKind::Confidence;
+    config.confidence = 0.5;
+    EXPECT_THROW(config.validate(), relperf::InvalidArgument);
+    config.confidence = 1.0;
+    EXPECT_THROW(config.validate(), relperf::InvalidArgument);
+    config.confidence = 0.95;
+    EXPECT_NO_THROW(config.validate());
+    // The stability rule ignores the confidence field entirely.
+    config.rule = core::StoppingRuleKind::Stability;
+    config.confidence = 0.0;
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(MeasurementEngine, RoundObserverSeesEveryRoundIncludingTheLast) {
+    core::AdaptiveConfig adaptive;
+    adaptive.min_n = 5;
+    adaptive.max_n = 30;
+    adaptive.batch = 3;
+    adaptive.stability_rounds = 2;
+    ScriptedSource source = two_classes();
+    std::vector<core::EngineRound> seen;
+    const core::EngineResult result = engine_for(adaptive).run(
+        source, [&seen](const core::EngineRound& r) { seen.push_back(r); });
+
+    ASSERT_EQ(seen.size(), result.rounds);
+    std::size_t cumulative = 0;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i].round, i + 1);
+        cumulative += seen[i].newly_stopped;
+        EXPECT_EQ(seen[i].stopped_total, cumulative);
+        EXPECT_EQ(seen[i].active, source.count() - cumulative);
+    }
+    // The final round stops everyone and extends no one.
+    EXPECT_EQ(seen.back().stopped_total, source.count());
+    EXPECT_EQ(seen.back().active, 0u);
+}
+
+TEST(EngineResult, SavedSamplesGuardsTheBudgetInvariant) {
+    core::EngineResult result;
+    result.fixed_n_samples = 10;
+    result.total_samples = 4;
+    EXPECT_EQ(result.saved_samples(), 6u);
+    result.total_samples = 10;
+    EXPECT_EQ(result.saved_samples(), 0u);
+    // total > fixed violates the engine's budget invariant: assert in debug
+    // builds, clamp to zero (never underflow) with NDEBUG.
+    result.total_samples = 11;
+    EXPECT_DEBUG_DEATH((void)result.saved_samples(), "fixed-N budget");
+#ifdef NDEBUG
+    EXPECT_EQ(result.saved_samples(), 0u);
+#endif
+}
+
+TEST(RenderSavings, WellDefinedForZeroFixedBudget) {
+    EXPECT_EQ(core::render_savings(0, 0),
+              "measured 0 of 0 fixed-N samples, saved 0 (0.0%)");
+    // And the overshoot case clamps instead of wrapping.
+    EXPECT_EQ(core::render_savings(5, 0),
+              "measured 5 of 0 fixed-N samples, saved 0 (0.0%)");
+}
+
 TEST(MeasurementEngine, PublishedClusteringEqualsAnalyzeMeasurements) {
     // EngineResult::clustering must equal what analyze_measurements computes
     // on the final measurements — with frozen-comparison reuse on (where the

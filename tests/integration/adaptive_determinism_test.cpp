@@ -206,3 +206,80 @@ TEST(AdaptiveCampaign, ShardedRunIsDeterministicAndPrefixOfFixed) {
     }
     EXPECT_EQ(total, once.measurements.total_samples());
 }
+
+TEST(CoordinatedCampaign, DeterministicAcrossRunsAndShardCounts) {
+    // The coordinated round loop is one global engine run; splitting it over
+    // K shards is bookkeeping. Same plan -> same bits, for any K, every time.
+    campaign::CampaignSpec spec = base_spec(campaign::ExecutorKind::Sim, false);
+    spec.measurements = 20;
+    spec.adaptive_min = 6;
+    spec.adaptive_batch = 4;
+    spec.adaptive_stability = 2;
+    spec.adaptive_coordinated = true;
+
+    const campaign::CoordinatedCampaignResult first =
+        campaign::run_coordinated_campaign(spec, 1);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{3}}) {
+        const campaign::CoordinatedCampaignResult again =
+            campaign::run_coordinated_campaign(spec, k);
+        SCOPED_TRACE("K=" + std::to_string(k));
+        expect_sets_identical(first.analysis.measurements,
+                              again.analysis.measurements, true);
+        expect_clusterings_identical(first.analysis.clustering,
+                                     again.analysis.clustering);
+        EXPECT_EQ(again.rounds, first.rounds);
+        EXPECT_EQ(again.stopset_rounds, first.stopset_rounds);
+    }
+}
+
+TEST(CoordinatedCampaign, SamplesStayAPrefixOfTheFixedNPlan) {
+    // Coordinated stopping changes *when* algorithms stop, never the stream
+    // an algorithm draws from: each sample list is the head of the fixed-N
+    // list, for the stability rule and the confidence rule alike.
+    campaign::CampaignSpec fixed =
+        base_spec(campaign::ExecutorKind::Sim, false);
+    fixed.measurements = 20;
+    const core::AnalysisResult full = campaign::run_campaign(fixed, 3, 1);
+
+    campaign::CampaignSpec coordinated = fixed;
+    coordinated.adaptive_min = 6;
+    coordinated.adaptive_batch = 4;
+    coordinated.adaptive_stability = 2;
+    coordinated.adaptive_coordinated = true;
+    for (const double confidence : {0.0, 0.95}) {
+        coordinated.adaptive_confidence = confidence;
+        const campaign::CoordinatedCampaignResult coord =
+            campaign::run_coordinated_campaign(coordinated, 3);
+        SCOPED_TRACE(confidence == 0.0 ? "stability" : "confidence");
+        ASSERT_EQ(coord.analysis.measurements.size(), full.measurements.size());
+        EXPECT_LT(coord.analysis.total_samples, full.total_samples);
+        for (std::size_t i = 0; i < full.measurements.size(); ++i) {
+            const auto grown = coord.analysis.measurements.samples(i);
+            const auto reference = full.measurements.samples(i);
+            ASSERT_GE(grown.size(), coordinated.adaptive_min);
+            ASSERT_LE(grown.size(), reference.size());
+            for (std::size_t k = 0; k < grown.size(); ++k) {
+                EXPECT_EQ(grown[k], reference[k])
+                    << full.measurements.name(i) << " sample " << k;
+            }
+        }
+    }
+}
+
+TEST(CoordinatedCampaign, SingleShardMatchesShardLocalStopping) {
+    // With one shard the coordinator's merged clustering is the shard's own
+    // clustering, so coordinated and shard-local adaptive runs coincide.
+    campaign::CampaignSpec local = base_spec(campaign::ExecutorKind::Sim, false);
+    local.measurements = 20;
+    local.adaptive_min = 6;
+    local.adaptive_batch = 4;
+    local.adaptive_stability = 2;
+    campaign::CampaignSpec coordinated = local;
+    coordinated.adaptive_coordinated = true;
+
+    const campaign::ShardResult shard = campaign::run_shard(local, 0, 1);
+    const campaign::CoordinatedCampaignResult coord =
+        campaign::run_coordinated_campaign(coordinated, 1);
+    expect_sets_identical(coord.analysis.measurements, shard.measurements,
+                          true);
+}

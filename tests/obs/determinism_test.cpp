@@ -189,3 +189,60 @@ TEST_F(DeterminismTest, AnalyzeChainIsByteIdenticalWithObsOn) {
     EXPECT_EQ(bytes[0], bytes[1]);
     EXPECT_FALSE(bytes[0].empty());
 }
+
+// Coordinated campaigns add a coordinator loop and two counters on top of
+// the engine; the byte guarantee must survive them. run_shard refuses
+// coordinated specs, so the shard bytes come from the coordinator's own
+// shard slices instead.
+TEST_F(DeterminismTest, CoordinatedCampaignIsByteIdenticalWithObsOn) {
+    campaign::CampaignSpec spec = base_spec();
+    spec.adaptive_min = 5;
+    spec.adaptive_batch = 3;
+    spec.adaptive_stability = 2;
+    spec.adaptive_coordinated = true;
+    spec.adaptive_confidence = 0.95;
+
+    const std::string dir = testing::TempDir();
+    RunFiles files[2];
+    for (const bool instrumented : {false, true}) {
+        obs::clear_trace();
+        obs::registry().reset_values();
+        obs::set_tracing_enabled(instrumented);
+        obs::set_metrics_enabled(instrumented);
+
+        const campaign::CoordinatedCampaignResult coord =
+            campaign::run_coordinated_campaign(spec, 2);
+        const std::string tag =
+            instrumented ? "coordinated_on" : "coordinated_off";
+        const std::string measurements_path =
+            dir + "obs_det_" + tag + "_measurements.csv";
+        const std::string clustering_path = dir + "obs_det_" + tag +
+                                            "_clusters.csv";
+        const std::string shard_path = dir + "obs_det_" + tag + "_shard.csv";
+        core::write_measurements_csv(coord.analysis.measurements,
+                                     measurements_path);
+        core::write_clustering_csv(coord.analysis.clustering,
+                                   coord.analysis.measurements,
+                                   clustering_path);
+        campaign::write_shard_csv(coord.shards.front(), shard_path);
+
+        if (instrumented) {
+            EXPECT_GT(obs::metrics().coordination_rounds.value(), 0u);
+            EXPECT_EQ(obs::metrics().stopset_broadcast_total.value(),
+                      obs::metrics().coordination_rounds.value() * 2);
+        } else {
+            EXPECT_EQ(obs::metrics().coordination_rounds.value(), 0u);
+        }
+        obs::set_tracing_enabled(false);
+        obs::set_metrics_enabled(false);
+
+        RunFiles& out = files[instrumented ? 1 : 0];
+        out.measurements = slurp(measurements_path);
+        out.clustering = slurp(clustering_path);
+        out.shard = slurp(shard_path);
+    }
+    EXPECT_EQ(files[0].measurements, files[1].measurements);
+    EXPECT_EQ(files[0].clustering, files[1].clustering);
+    EXPECT_EQ(files[0].shard, files[1].shard);
+    EXPECT_FALSE(files[0].shard.empty());
+}

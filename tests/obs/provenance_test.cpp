@@ -68,7 +68,9 @@ TEST_F(ProvenanceTest, SetOverwritesInPlaceAndClearDropsUserEntriesOnly) {
 
 TEST_F(ProvenanceTest, ValuesAreSanitizedForSingleLineEmbedding) {
     obs::set_provenance("cmd", "a=b;c\nd\re");
-    const std::string* value = find(obs::provenance(), "cmd");
+    // provenance() returns by value; keep the record alive past find().
+    const std::vector<obs::ProvenanceEntry> record = obs::provenance();
+    const std::string* value = find(record, "cmd");
     ASSERT_NE(value, nullptr);
     EXPECT_EQ(*value, "a b c d e");
 }

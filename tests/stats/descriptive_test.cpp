@@ -202,3 +202,33 @@ TEST(Summarize, AllFieldsPopulated) {
     EXPECT_GT(s.stddev, 0.0);
     EXPECT_NEAR(s.cv, s.stddev / s.mean, 1e-15);
 }
+
+TEST(NormalQuantile, PinsTextbookCriticalValues) {
+    // Abramowitz & Stegun 26.2.3-grade values, pinned to 1e-9 (the Acklam
+    // approximation plus one Halley refinement is good to ~1e-15).
+    EXPECT_NEAR(stats::normal_quantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(stats::normal_quantile(0.8), 0.8416212335729143, 1e-9);
+    EXPECT_NEAR(stats::normal_quantile(0.95), 1.6448536269514722, 1e-9);
+    EXPECT_NEAR(stats::normal_quantile(0.975), 1.959963984540054, 1e-9);
+    EXPECT_NEAR(stats::normal_quantile(0.999), 3.090232306167814, 1e-9);
+}
+
+TEST(NormalQuantile, SymmetricAndMonotone) {
+    for (const double p : {0.6, 0.75, 0.9, 0.99, 0.9999}) {
+        EXPECT_NEAR(stats::normal_quantile(1.0 - p), -stats::normal_quantile(p),
+                    1e-9);
+    }
+    double previous = stats::normal_quantile(0.01);
+    for (double p = 0.02; p < 1.0; p += 0.01) {
+        const double q = stats::normal_quantile(p);
+        EXPECT_GT(q, previous) << "p = " << p;
+        previous = q;
+    }
+}
+
+TEST(NormalQuantile, RejectsOutOfRangeProbabilities) {
+    EXPECT_THROW((void)stats::normal_quantile(0.0), relperf::InvalidArgument);
+    EXPECT_THROW((void)stats::normal_quantile(1.0), relperf::InvalidArgument);
+    EXPECT_THROW((void)stats::normal_quantile(-0.5), relperf::InvalidArgument);
+    EXPECT_THROW((void)stats::normal_quantile(1.5), relperf::InvalidArgument);
+}

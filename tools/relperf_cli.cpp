@@ -23,6 +23,11 @@
 //! measure incrementally and stop algorithms whose performance-class
 //! membership stabilized, reporting the measurements saved against the
 //! fixed-N plan; --samples-csv records the per-algorithm counts.
+//! --coordinated (with --run) coordinates the stopping across shards — the
+//! coordinator re-clusters the merged measurements between rounds and
+//! broadcasts the global stop-set, so per-algorithm counts are K-invariant;
+//! --confidence <q> swaps the stability rule for the confidence-targeted
+//! one, and --stopset-csv records the coordinator's per-round stop-set.
 //!
 //! Input format (written by core::write_measurements_csv, campaign shard
 //! files and the experiment benches' --csv option; bench_micro_kernels is the
@@ -109,10 +114,12 @@ int cluster_diff(const std::string& pair) {
 /// True when any adaptive option was given — the one list both
 /// apply_adaptive_overrides and the --input-mode guard consult.
 bool adaptive_options_present(const support::CliParser& cli) {
-    return cli.flag("adaptive") || cli.value_optional("min-n").has_value() ||
+    return cli.flag("adaptive") || cli.flag("coordinated") ||
+           cli.value_optional("min-n").has_value() ||
            cli.value_optional("max-n").has_value() ||
            cli.value_optional("batch").has_value() ||
-           cli.value_optional("stability").has_value();
+           cli.value_optional("stability").has_value() ||
+           cli.value_optional("confidence").has_value();
 }
 
 void apply_adaptive_overrides(const support::CliParser& cli,
@@ -130,6 +137,11 @@ void apply_adaptive_overrides(const support::CliParser& cli,
     if (batch) spec.adaptive_batch = str::parse_positive_size(*batch, "--batch");
     if (stability) {
         spec.adaptive_stability = str::parse_positive_size(*stability, "--stability");
+    }
+    if (cli.flag("coordinated")) spec.adaptive_coordinated = true;
+    if (const auto confidence = cli.value_optional("confidence")) {
+        spec.adaptive_confidence = str::parse_double(*confidence,
+                                                     "--confidence");
     }
     spec.validate(); // e.g. --min-n above the cap dies here, not mid-run
 }
@@ -286,8 +298,48 @@ int campaign_run(const campaign::CampaignSpec& spec, std::size_t shard_count,
                  std::size_t workers,
                  const std::optional<std::string>& out_path,
                  const std::optional<std::string>& merged_csv,
-                 const std::optional<std::string>& samples_csv) {
+                 const std::optional<std::string>& samples_csv,
+                 const std::optional<std::string>& stopset_csv) {
     if (shard_count == 0) shard_count = spec.shards;
+    if (stopset_csv && !spec.adaptive_coordinated) {
+        std::fputs("error: --stopset-csv records the coordinator's per-round "
+                   "stop-set; it needs --coordinated\n",
+                   stderr);
+        return 2;
+    }
+    if (spec.adaptive_coordinated) {
+        std::printf("campaign '%s': %zu shards, coordinated stopping "
+                    "(%s rule)\n\n",
+                    spec.name.c_str(), shard_count,
+                    spec.adaptive_confidence != 0.0 ? "confidence"
+                                                    : "stability");
+        const campaign::CoordinatedCampaignResult coord =
+            campaign::run_coordinated_campaign(spec, shard_count);
+        std::printf("coordinator: %zu rounds, final stop-set %zu/%zu "
+                    "algorithms\n",
+                    coord.rounds,
+                    coord.stopset_rounds.empty() ? 0
+                                                 : coord.stopset_rounds.back(),
+                    coord.analysis.measurements.size());
+        if (stopset_csv) {
+            support::CsvWriter csv(*stopset_csv, {"round", "stopped_total"});
+            for (std::size_t i = 0; i < coord.stopset_rounds.size(); ++i) {
+                csv.add_row({std::to_string(i + 1),
+                             std::to_string(coord.stopset_rounds[i])});
+            }
+            std::printf("per-round stop-set written to %s\n",
+                        stopset_csv->c_str());
+        }
+        if (merged_csv) {
+            core::write_measurements_csv(coord.analysis.measurements,
+                                         *merged_csv);
+            std::printf("merged measurements written to %s\n\n",
+                        merged_csv->c_str());
+        }
+        report_adaptive(spec, coord.analysis.measurements, samples_csv);
+        report_analysis(coord.analysis, out_path);
+        return 0;
+    }
     std::printf("campaign '%s': %zu shards, %s workers\n\n", spec.name.c_str(),
                 shard_count,
                 workers == 0 ? "all" : std::to_string(workers).c_str());
@@ -411,6 +463,18 @@ support::CliParser build_cli() {
     cli.add_option("stability", "adaptive: consecutive stable clusterings "
                                 "before an algorithm stops (implies "
                                 "--adaptive; default 2)", "");
+    cli.add_flag("coordinated", "adaptive --run: coordinate stopping across "
+                                "shards — re-cluster the merged measurements "
+                                "between rounds and broadcast the global "
+                                "stop-set (implies --adaptive; counts become "
+                                "K-invariant)");
+    cli.add_option("confidence", "adaptive: stop on the confidence-targeted "
+                                 "rule at this one-sided level, in (0.5, 1) "
+                                 "(implies --adaptive; unset = stability "
+                                 "rule)", "");
+    cli.add_option("stopset-csv", "write the coordinator's per-round "
+                                  "cumulative stop-set CSV here "
+                                  "(--coordinated --run)", "");
     cli.add_option("samples-csv", "write the per-algorithm sample counts CSV "
                                   "here (campaign modes)", "");
     cli.add_option("trace", "write a Chrome trace-event JSON of this run "
@@ -458,10 +522,12 @@ int run_modes(const support::CliParser& cli) {
         return 2;
     }
     if (input &&
-        (adaptive_options_present(cli) || cli.value_optional("samples-csv"))) {
+        (adaptive_options_present(cli) || cli.value_optional("samples-csv") ||
+         cli.value_optional("stopset-csv"))) {
         std::fputs("error: --adaptive/--min-n/--max-n/--batch/--stability/"
-                   "--samples-csv only apply to campaign modes (--input CSVs "
-                   "were measured elsewhere)\n",
+                   "--coordinated/--confidence/--samples-csv/--stopset-csv "
+                   "only apply to campaign modes (--input CSVs were measured "
+                   "elsewhere)\n",
                    stderr);
         return 2;
     }
@@ -492,13 +558,19 @@ int run_modes(const support::CliParser& cli) {
             obs::set_provenance("variant_backends",
                                 str::join(spec.variant_backends, ","));
         }
-        obs::set_provenance(
-            "adaptive",
-            spec.adaptive()
-                ? str::format("min=%zu,max=%zu,batch=%zu,stability=%zu",
-                              spec.adaptive_min, spec.measurements,
-                              spec.adaptive_batch, spec.adaptive_stability)
-                : "fixed-N");
+        std::string adaptive_prov = "fixed-N";
+        if (spec.adaptive()) {
+            adaptive_prov =
+                str::format("min=%zu,max=%zu,batch=%zu,stability=%zu",
+                            spec.adaptive_min, spec.measurements,
+                            spec.adaptive_batch, spec.adaptive_stability);
+            if (spec.adaptive_coordinated) adaptive_prov += ",coordinated";
+            if (spec.adaptive_confidence != 0.0) {
+                adaptive_prov += str::format(",confidence=%.12g",
+                                             spec.adaptive_confidence);
+            }
+        }
+        obs::set_provenance("adaptive", adaptive_prov);
         const auto shard_ref = cli.value_optional("shard");
         const auto merge_pattern = cli.value_optional("merge");
         const int modes = (shard_ref ? 1 : 0) + (merge_pattern ? 1 : 0) +
@@ -506,6 +578,13 @@ int run_modes(const support::CliParser& cli) {
         if (modes != 1) {
             std::fputs("error: --campaign needs exactly one of --shard i/K, "
                        "--merge <pattern>, --run\n",
+                       stderr);
+            return 2;
+        }
+        if (cli.value_optional("stopset-csv") && !cli.flag("run")) {
+            std::fputs("error: --stopset-csv only applies to --coordinated "
+                       "--run (only the coordinator sees the global "
+                       "stop-set)\n",
                        stderr);
             return 2;
         }
@@ -524,7 +603,8 @@ int run_modes(const support::CliParser& cli) {
                             str::parse_size(cli.value("workers"), "--workers"),
                             cli.value_optional("out"),
                             cli.value_optional("merged-csv"),
-                            cli.value_optional("samples-csv"));
+                            cli.value_optional("samples-csv"),
+                            cli.value_optional("stopset-csv"));
     }
 
     if (!input) {
