@@ -1,12 +1,14 @@
 //! Analysis hot paths at scale: comparator score ns/op (against an in-bench
 //! reproduction of the pre-scratch two-full-sorts implementation), clusterer
 //! wall time vs p (sparse tallies, with the dense O(p^2) oracle at small p),
-//! adaptive engine round cost with frozen-comparison reuse on vs off, and
+//! adaptive engine round cost with frozen-comparison reuse on vs off,
 //! coordinated-stopping sample budgets vs shard count for both stopping
-//! rules. This bench times its own loops with steady_clock (allowlisted in
+//! rules, and the result cache's cold/exact-hit/prefix-extension run costs.
+//! This bench times its own loops with steady_clock (allowlisted in
 //! ci/lint_allow.txt); nothing here feeds measurement CSVs.
 
 #include "bench_common.hpp"
+#include "cache/cached_campaign.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
 #include "core/bootstrap_comparator.hpp"
@@ -22,6 +24,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -382,6 +385,57 @@ int main(int argc, char** argv) {
                                 wall_ms});
             }
         }
+    }
+
+    // --- Section 5: result cache — cold run vs exact hit vs extension. ----
+    // The cache's pitch in numbers: a repeat query pays only re-clustering
+    // (exact hit), a budget bump pays only the delta (prefix extension).
+    // Sim measurement is cheap, so the wall times mostly show the analysis
+    // floor; the samples_from_cache rows carry the actual avoided work.
+    bench::section("Result cache (fixed-N sim campaign, budget 40 -> 60)");
+    {
+        namespace fs = std::filesystem;
+        const std::string dir =
+            (fs::temp_directory_path() /
+             str::format("relperf_bench_cache_%llu",
+                         static_cast<unsigned long long>(seed)))
+                .string();
+        fs::remove_all(dir);
+
+        campaign::CampaignSpec spec;
+        spec.name = "bench-cache";
+        spec.sizes = {40, 60, 90};
+        spec.iters = 6;
+        spec.measurements = 40;
+        spec.measurement_seed = seed + 31;
+        spec.clustering_repetitions = 40;
+        spec.bootstrap_rounds = 50;
+        cache::ResultCache result_cache(cache::CacheConfig{dir, 0, 0});
+
+        const auto timed_run = [&](const campaign::CampaignSpec& plan,
+                                   const char* tier) {
+            const auto start = std::chrono::steady_clock::now();
+            const cache::CachedRunResult run =
+                cache::run_campaign_cached(plan, result_cache, 1);
+            const double wall_ms = seconds_since(start) * 1e3;
+            checksum += run.analysis.clustering.final_assignment[0].score;
+            std::printf("  %-6s : %8.1f ms — %s, %zu/%zu samples from "
+                        "cache\n",
+                        tier, wall_ms, cache::to_string(run.cache),
+                        run.samples_from_cache, run.analysis.total_samples);
+            const std::string param = std::string("tier=") + tier;
+            rows.push_back({"cache", "run_wall_ms", param, wall_ms});
+            rows.push_back({"cache", "samples_from_cache", param,
+                            static_cast<double>(run.samples_from_cache)});
+            return run;
+        };
+
+        (void)timed_run(spec, "cold");   // miss: measures and publishes
+        (void)timed_run(spec, "exact");  // exact hit: zero executor draws
+        campaign::CampaignSpec bigger = spec;
+        bigger.measurements = 60;
+        (void)timed_run(bigger, "prefix"); // extension: only the delta drawn
+        fs::remove_all(dir);
     }
 
     std::printf("\nchecksum %.6f (anti-DCE; value carries no meaning)\n",

@@ -19,7 +19,11 @@ Asserts that
     every run saved samples, and for each rule the saved count is
     monotonically non-decreasing in K (coordinated stopping promises
     K-invariant counts, so any *decrease* with more shards is a bug, not
-    noise — the values are deterministic).
+    noise — the values are deterministic);
+  * the cache section covers the cold/exact/prefix tiers, the cold run
+    served nothing, the exact hit served every sample, and the prefix
+    extension served the cached budget's worth (all deterministic counts,
+    so these are equalities, not floors).
 
 Exits non-zero with a message naming the first violated invariant.
 """
@@ -29,7 +33,8 @@ import math
 import sys
 
 EXPECTED_HEADER = ["section", "metric", "param", "value"]
-EXPECTED_SECTIONS = {"comparator", "clusterer", "engine", "coordination"}
+EXPECTED_SECTIONS = {"comparator", "clusterer", "engine", "coordination",
+                     "cache"}
 SPEEDUP_FLOOR = 0.5
 COORDINATION_RULES = ("stability", "confidence")
 COORDINATION_SHARDS = (1, 4, 16)
@@ -116,6 +121,29 @@ def main() -> None:
                      f"decreased from {previous:.0f} to {value:.0f} as K "
                      f"grew — coordinated counts must be K-invariant")
             previous = value
+
+    cache_wall = find("cache", "run_wall_ms")
+    cache_served = find("cache", "samples_from_cache")
+    for tier in ("tier=cold", "tier=exact", "tier=prefix"):
+        if tier not in cache_wall:
+            fail(f"{path}: cache run_wall_ms missing {tier}")
+        if tier not in cache_served:
+            fail(f"{path}: cache samples_from_cache missing {tier}")
+    if cache_served["tier=cold"] != 0:
+        fail(f"{path}: cache cold run served "
+             f"{cache_served['tier=cold']:.0f} samples — a cold run must "
+             f"draw everything")
+    if cache_served["tier=exact"] <= 0:
+        fail(f"{path}: cache exact hit served nothing — the entry was "
+             f"never hit")
+    if cache_served["tier=prefix"] <= 0:
+        fail(f"{path}: cache prefix extension served nothing — the "
+             f"smaller-budget entry was not reused")
+    if cache_served["tier=prefix"] != cache_served["tier=exact"]:
+        fail(f"{path}: cache prefix extension served "
+             f"{cache_served['tier=prefix']:.0f} samples, expected exactly "
+             f"the cached budget ({cache_served['tier=exact']:.0f}) — "
+             f"the replayed prefix is deterministic")
 
     print(f"check_analysis_bench: OK ({len(rows)} rows, "
           f"sections {sorted(sections)})")

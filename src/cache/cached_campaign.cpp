@@ -1,0 +1,128 @@
+#include "cache/cached_campaign.hpp"
+
+#include "cache/cached_source.hpp"
+#include "campaign/merge.hpp"
+#include "campaign/runner.hpp"
+#include "core/measurement_engine.hpp"
+#include "obs/metrics.hpp"
+
+#include <utility>
+
+namespace relperf::cache {
+
+namespace {
+
+/// Restores the plan's true fixed-N cost (analyze_measurements cannot know
+/// the cap of an externally measured set).
+void restore_fixed_n(core::AnalysisResult& analysis,
+                     const campaign::CampaignSpec& spec) {
+    analysis.fixed_n_samples =
+        analysis.measurements.size() * spec.measurements;
+}
+
+/// A cold run of the uncached path, capturing the coordinated metadata.
+CachedRunResult run_uncached(const campaign::CampaignSpec& spec,
+                             std::size_t shard_count, std::size_t workers) {
+    CachedRunResult out;
+    if (spec.adaptive_coordinated) {
+        campaign::CoordinatedCampaignResult coordinated =
+            campaign::run_coordinated_campaign(spec, shard_count);
+        out.analysis = std::move(coordinated.analysis);
+        out.stopset_rounds = std::move(coordinated.stopset_rounds);
+        out.rounds = coordinated.rounds;
+    } else {
+        out.analysis = campaign::run_campaign(spec, shard_count, workers);
+    }
+    return out;
+}
+
+} // namespace
+
+bool cacheable(const campaign::CampaignSpec& spec, std::size_t shard_count) {
+    if (!spec.adaptive() || spec.adaptive_coordinated) return true;
+    // Shard-local adaptive stopping decides per shard, so the merged counts
+    // depend on K — which the plan hash deliberately excludes. Only the
+    // single-shard run (identical to the unsharded engine) is addressable.
+    const std::size_t k = shard_count == 0 ? spec.shards : shard_count;
+    return k == 1;
+}
+
+CachedRunResult run_campaign_cached(const campaign::CampaignSpec& spec,
+                                    ResultCache& cache,
+                                    std::size_t shard_count,
+                                    std::size_t workers) {
+    spec.validate();
+    if (!cache.config().enabled()) {
+        return run_uncached(spec, shard_count, workers);
+    }
+    if (!cacheable(spec, shard_count)) {
+        // Not addressable by the plan hash: neither served nor stored.
+        obs::metrics().cache_misses_total.inc();
+        CachedRunResult out = run_uncached(spec, shard_count, workers);
+        out.bypassed = true;
+        return out;
+    }
+
+    CacheLookup lookup = cache.lookup(spec);
+    CachedRunResult out;
+    out.cache = lookup.kind;
+
+    if (lookup.kind == HitKind::Exact) {
+        // Re-cluster the cached samples under the spec's analysis knobs —
+        // byte-identical to the original analysis, zero executor draws.
+        out.analysis = core::analyze_measurements(std::move(lookup.merged),
+                                                  spec.analysis_config());
+        restore_fixed_n(out.analysis, spec);
+        out.samples_from_cache = out.analysis.total_samples;
+        obs::metrics().cache_extension_samples_saved_total.inc(
+            out.samples_from_cache);
+        out.stopset_rounds = std::move(lookup.manifest.stopset_rounds);
+        out.rounds = out.stopset_rounds.size();
+        return out;
+    }
+
+    if (lookup.kind == HitKind::Prefix) {
+        // Re-run the ordinary measurement path with the cached samples
+        // replayed as each algorithm's stream prefix: identical values in
+        // identical order make every decision identical to a cold run, and
+        // only draws beyond the prefix reach the executor.
+        campaign::GlobalSampleSource bundle(spec);
+        CachedSampleSource replay(bundle.source(), lookup.merged);
+        if (spec.adaptive_coordinated) {
+            campaign::CoordinatedCampaignResult coordinated =
+                campaign::run_coordinated_campaign(spec, shard_count, replay);
+            out.analysis = std::move(coordinated.analysis);
+            out.stopset_rounds = std::move(coordinated.stopset_rounds);
+            out.rounds = coordinated.rounds;
+        } else if (spec.adaptive()) {
+            // cacheable() admitted this plan, so K == 1: the single-shard
+            // engine over the full global variant list.
+            const core::AnalysisConfig config = spec.analysis_config();
+            const core::MeasurementEngine engine(
+                spec.adaptive_config(), config.comparator, config.clustering);
+            core::EngineResult engine_result = engine.run(replay);
+            out.analysis.measurements = std::move(engine_result.measurements);
+            out.analysis.clustering = std::move(engine_result.clustering);
+            out.analysis.samples_per_alg =
+                std::move(engine_result.samples_per_alg);
+            out.analysis.total_samples = engine_result.total_samples;
+            out.analysis.fixed_n_samples = engine_result.fixed_n_samples;
+        } else {
+            core::MeasurementSet measured =
+                core::measure_all(replay, spec.measurements);
+            out.analysis = core::analyze_measurements(std::move(measured),
+                                                      spec.analysis_config());
+            restore_fixed_n(out.analysis, spec);
+        }
+        out.samples_from_cache = replay.served();
+        cache.store(spec, out.analysis.measurements, out.stopset_rounds);
+        return out;
+    }
+
+    // Miss: measure cold, publish the result for the next run.
+    out = run_uncached(spec, shard_count, workers);
+    cache.store(spec, out.analysis.measurements, out.stopset_rounds);
+    return out;
+}
+
+} // namespace relperf::cache

@@ -1,0 +1,65 @@
+#pragma once
+//! \file cached_campaign.hpp
+//! The cache-aware campaign entry point: consult the ResultCache before any
+//! measurement, serve what it holds, measure only what it doesn't, publish
+//! the result back.
+//!
+//! Three outcomes (see result_cache.hpp for the lookup tiers):
+//!
+//!  - **Exact hit** — the entry's samples are re-clustered under the spec's
+//!    analysis knobs and returned with zero executor draws
+//!    (relperf_samples_total stays 0: only the executor-backed leaf sources
+//!    count drawn samples).
+//!  - **Prefix extension** — the entry's samples are replayed as the stream
+//!    prefix through a CachedSampleSource over the spec's real source
+//!    (cached_source.hpp); the ordinary measurement path re-runs from
+//!    scratch seeing identical values, so the final MeasurementSet is
+//!    bit-identical to a cold full run while only the budget delta reaches
+//!    the executor. The extended result is stored, upgrading the entry.
+//!  - **Miss** — the campaign runs exactly as without a cache, then stores.
+//!
+//! Cacheability: a shard-local adaptive plan run with K > 1 shards produces
+//! per-algorithm counts that depend on K, which the plan hash deliberately
+//! excludes — such runs bypass the cache entirely (neither served nor
+//! stored, counted as a miss). Fixed-N plans (any K), single-shard adaptive
+//! plans and coordinated adaptive plans (K-invariant counts by
+//! construction) are all cacheable.
+
+#include "cache/result_cache.hpp"
+#include "campaign/spec.hpp"
+#include "core/pipeline.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace relperf::cache {
+
+/// Outcome of a cache-aware campaign run.
+struct CachedRunResult {
+    core::AnalysisResult analysis;
+    HitKind cache = HitKind::Miss; ///< Lookup tier that produced `analysis`.
+    /// True when the plan is not cacheable under the requested shard count
+    /// (shard-local adaptive with K > 1) — the run went straight through.
+    bool bypassed = false;
+    /// Samples served from the cache instead of the executor (all of them on
+    /// an exact hit, the reused prefix on an extension, 0 on a miss).
+    std::size_t samples_from_cache = 0;
+    /// Coordinated campaigns: the stop-set broadcast history (from the
+    /// coordinator on a live run, from the entry manifest on an exact hit).
+    std::vector<std::size_t> stopset_rounds;
+    std::size_t rounds = 0; ///< Coordinator rounds (coordinated plans only).
+};
+
+/// True when `spec` run with `shard_count` shards (0 = spec.shards) yields a
+/// K-invariant result the cache may serve and store.
+[[nodiscard]] bool cacheable(const campaign::CampaignSpec& spec,
+                             std::size_t shard_count);
+
+/// campaign::run_campaign with the cache consulted first. A disabled cache
+/// (empty dir) or an uncacheable plan degrades to a plain run. `workers`
+/// only affects the miss path of non-coordinated plans (as in run_campaign).
+[[nodiscard]] CachedRunResult run_campaign_cached(
+    const campaign::CampaignSpec& spec, ResultCache& cache,
+    std::size_t shard_count = 0, std::size_t workers = 1);
+
+} // namespace relperf::cache

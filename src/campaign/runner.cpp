@@ -15,6 +15,7 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 namespace relperf::campaign {
@@ -136,8 +137,65 @@ ShardResult run_shard(const CampaignSpec& spec, std::size_t shard_index,
     return result;
 }
 
+struct GlobalSampleSource::Impl {
+    workloads::TaskChain chain;
+    std::vector<workloads::VariantAssignment> variants;
+    // Construction order matters: the executors hold references into the
+    // model, and the sources into the executors.
+    std::optional<sim::AnalyticCostModel> model;
+    std::optional<sim::SimulatedExecutor> sim_executor;
+    std::optional<sim::RealExecutor> real_executor;
+    std::optional<core::SimSampleSource> sim_source;
+    std::optional<core::RealSampleSource> real_source;
+};
+
+GlobalSampleSource::GlobalSampleSource(const CampaignSpec& spec)
+    : impl_(std::make_unique<Impl>()) {
+    spec.validate();
+    // This object measures, so the plan's backends must exist in this build
+    // (mirrors run_shard's pre-measurement check).
+    (void)linalg::backend(spec.backend);
+    for (const std::string& name : spec.variant_backends) {
+        (void)linalg::backend(name);
+    }
+    impl_->chain = spec.chain();
+    impl_->variants = spec.variants();
+    const core::StreamFactory streams =
+        [seed = spec.measurement_seed](std::size_t global) {
+            return stats::Rng(core::assignment_stream_seed(seed, global));
+        };
+    if (spec.executor == ExecutorKind::Sim) {
+        impl_->model.emplace(platform_preset(spec.platform));
+        impl_->sim_executor.emplace(*impl_->model, sim::NoiseModel{});
+        impl_->sim_source.emplace(*impl_->sim_executor, impl_->chain,
+                                  impl_->variants, streams);
+        return;
+    }
+    const sim::EmulatedDevice device{spec.device_threads, 0.0, 0.0};
+    const sim::EmulatedDevice accelerator{spec.accelerator_threads,
+                                          spec.dispatch_delay_us * 1e-6,
+                                          spec.switch_delay_us * 1e-6};
+    impl_->real_executor.emplace(device, accelerator);
+    impl_->real_source.emplace(*impl_->real_executor, impl_->chain,
+                               impl_->variants, streams, spec.warmup);
+}
+
+GlobalSampleSource::~GlobalSampleSource() = default;
+
+core::SampleSource& GlobalSampleSource::source() {
+    if (impl_->sim_source) return *impl_->sim_source;
+    return *impl_->real_source;
+}
+
 CoordinatedCampaignResult run_coordinated_campaign(const CampaignSpec& spec,
                                                    std::size_t shard_count) {
+    GlobalSampleSource bundle(spec);
+    return run_coordinated_campaign(spec, shard_count, bundle.source());
+}
+
+CoordinatedCampaignResult run_coordinated_campaign(const CampaignSpec& spec,
+                                                   std::size_t shard_count,
+                                                   core::SampleSource& source) {
     spec.validate();
     RELPERF_REQUIRE(spec.adaptive(),
                     "run_coordinated_campaign: spec is fixed-N — coordinated "
@@ -147,10 +205,6 @@ CoordinatedCampaignResult run_coordinated_campaign(const CampaignSpec& spec,
                     "run_coordinated_campaign: spec does not declare "
                     "'adaptive_coordination = coordinated' — the key is part "
                     "of the measurement plan and must be recorded");
-    (void)linalg::backend(spec.backend);
-    for (const std::string& name : spec.variant_backends) {
-        (void)linalg::backend(name);
-    }
     const std::size_t count = effective_shard_count(spec, shard_count);
     const std::vector<workloads::VariantAssignment> variants = spec.variants();
     const Sharder sharder(variants.size(), count);
@@ -164,11 +218,9 @@ CoordinatedCampaignResult run_coordinated_campaign(const CampaignSpec& spec,
     // stop-set IS the engine's frozen set. The observer is where the
     // broadcast becomes observable: one coordination round and K stop-set
     // broadcasts per clustering, recorded for the shard manifests.
-    const workloads::TaskChain chain = spec.chain();
-    const core::StreamFactory streams = [&spec](std::size_t global) {
-        return stats::Rng(
-            core::assignment_stream_seed(spec.measurement_seed, global));
-    };
+    RELPERF_REQUIRE(source.count() == variants.size(),
+                    "run_coordinated_campaign: the sample source must "
+                    "enumerate the spec's full global variant list");
     const core::AnalysisConfig analysis_cfg = spec.analysis_config();
     const core::MeasurementEngine engine(
         spec.adaptive_config(), analysis_cfg.comparator,
@@ -188,22 +240,7 @@ CoordinatedCampaignResult run_coordinated_campaign(const CampaignSpec& spec,
         out.stopset_rounds.push_back(r.stopped_total);
     };
 
-    core::EngineResult engine_result = [&] {
-        if (spec.executor == ExecutorKind::Sim) {
-            const sim::AnalyticCostModel model(platform_preset(spec.platform));
-            const sim::SimulatedExecutor executor(model, sim::NoiseModel{});
-            core::SimSampleSource source(executor, chain, variants, streams);
-            return engine.run(source, observer);
-        }
-        const sim::EmulatedDevice device{spec.device_threads, 0.0, 0.0};
-        const sim::EmulatedDevice accelerator{spec.accelerator_threads,
-                                              spec.dispatch_delay_us * 1e-6,
-                                              spec.switch_delay_us * 1e-6};
-        const sim::RealExecutor executor(device, accelerator);
-        core::RealSampleSource source(executor, chain, variants, streams,
-                                      spec.warmup);
-        return engine.run(source, observer);
-    }();
+    core::EngineResult engine_result = engine.run(source, observer);
     out.rounds = engine_result.rounds;
 
     // Slice the global result into per-shard files. Manifests carry the

@@ -13,6 +13,7 @@
 #include "core/pipeline.hpp"
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 namespace relperf::campaign {
@@ -55,6 +56,35 @@ struct CoordinatedCampaignResult {
 /// 0 uses spec.shards.
 [[nodiscard]] CoordinatedCampaignResult run_coordinated_campaign(
     const CampaignSpec& spec, std::size_t shard_count = 0);
+
+/// As above, but drawing from `source` instead of building the spec's
+/// executor-backed source internally. `source` must enumerate the spec's
+/// full global variant list in order, on the per-assignment streams of
+/// core::assignment_stream_seed — the seam the result cache's
+/// prefix-extension path uses to serve already-measured draws from disk
+/// while fresh draws fall through to the real executor.
+[[nodiscard]] CoordinatedCampaignResult run_coordinated_campaign(
+    const CampaignSpec& spec, std::size_t shard_count,
+    core::SampleSource& source);
+
+/// Owns the spec's executor plus the engine sample source over the *full*
+/// global variant list (streams derived from global indices) — the building
+/// block for callers that drive measurement themselves rather than through
+/// run_shard, such as the result cache's prefix-extension path. The executor
+/// lives as long as the bundle, so the source reference stays valid.
+class GlobalSampleSource {
+public:
+    explicit GlobalSampleSource(const CampaignSpec& spec);
+    ~GlobalSampleSource();
+    GlobalSampleSource(const GlobalSampleSource&) = delete;
+    GlobalSampleSource& operator=(const GlobalSampleSource&) = delete;
+
+    [[nodiscard]] core::SampleSource& source();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /// Runs every shard of a campaign on this machine.
 class LocalShardRunner {

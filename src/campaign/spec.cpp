@@ -383,6 +383,16 @@ std::uint64_t CampaignSpec::hash() const {
     return h;
 }
 
+std::uint64_t CampaignSpec::prefix_hash() const {
+    // Zero is not a valid budget (validate() demands measurements > 0), so
+    // hashing the plan with a zero sentinel cannot collide with any real
+    // plan hash — and reusing hash() keeps the canonical plan text in one
+    // place.
+    CampaignSpec budget_blind = *this;
+    budget_blind.measurements = 0;
+    return budget_blind.hash();
+}
+
 workloads::TaskChain CampaignSpec::chain() const {
     return workloads::make_rls_chain(sizes, iters, name + "-chain", backend);
 }

@@ -131,6 +131,14 @@ struct CampaignSpec {
     /// hashes stable. merge_shards enforces equality.
     [[nodiscard]] std::uint64_t hash() const;
 
+    /// hash() of the plan with the measurement budget blanked out: two specs
+    /// share a prefix_hash exactly when they are the same plan up to
+    /// `measurements` (fixed N / the adaptive cap). Because every algorithm
+    /// draws a prefix-extensible per-assignment stream, a run of the
+    /// smaller-budget plan is a byte-exact prefix of the larger one — the
+    /// property the result cache's prefix-extension lookup keys on.
+    [[nodiscard]] std::uint64_t prefix_hash() const;
+
     /// The chain this campaign measures.
     [[nodiscard]] workloads::TaskChain chain() const;
 

@@ -34,6 +34,12 @@ void MeasurementSet::extend(std::size_t index, std::span<const double> samples) 
     existing.insert(existing.end(), samples.begin(), samples.end());
 }
 
+void MeasurementSet::reserve_samples(std::size_t index, std::size_t capacity) {
+    RELPERF_REQUIRE(index < algorithms_.size(),
+                    "MeasurementSet::reserve_samples: index out of range");
+    algorithms_[index].samples.reserve(capacity);
+}
+
 const AlgorithmMeasurements& MeasurementSet::at(std::size_t index) const {
     RELPERF_REQUIRE(index < algorithms_.size(), "MeasurementSet: index out of range");
     return algorithms_[index];

@@ -37,6 +37,12 @@ public:
     /// non-negative, like add()'s.
     void extend(std::size_t index, std::span<const double> samples);
 
+    /// Reserves storage for `capacity` total samples of the algorithm at
+    /// `index`. Callers that know the final budget (the adaptive cap, a
+    /// cache extension's target N) pay one allocation up front instead of a
+    /// reallocation-plus-copy on every extend. No effect on the values.
+    void reserve_samples(std::size_t index, std::size_t capacity);
+
     [[nodiscard]] std::size_t size() const noexcept { return algorithms_.size(); }
     [[nodiscard]] bool empty() const noexcept { return algorithms_.empty(); }
 

@@ -5,6 +5,7 @@
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
+#include "workloads/mathtask.hpp"
 
 #include <algorithm>
 #include <numeric>
@@ -56,7 +57,21 @@ SimSampleSource::SimSampleSource(
       executor_(executor) {}
 
 std::vector<double> SimSampleSource::draw(std::size_t index, std::size_t n) {
+    // The executor-backed sources are where samples become real, so they own
+    // the relperf_samples_total accounting: a cache hit that serves stored
+    // values never reaches a leaf draw and therefore counts nothing.
+    obs::metrics().samples_total.inc(n);
     return executor_.measure(chain_, variants_[index], n, stream(index));
+}
+
+void SimSampleSource::skip(std::size_t index, std::size_t n) {
+    // run_once consumes exactly the stream prefix one measured sample does
+    // and increments no counters, so n discarded runs fast-forward the
+    // stream bit-identically to n kept measurements.
+    stats::Rng& rng = stream(index);
+    for (std::size_t i = 0; i < n; ++i) {
+        (void)executor_.run_once(chain_, variants_[index], rng);
+    }
 }
 
 RealSampleSource::RealSampleSource(
@@ -74,8 +89,20 @@ std::vector<double> RealSampleSource::draw(std::size_t index, std::size_t n) {
     // samples need the same heating as first samples. RealExecutor::measure
     // runs warmups on a hoisted stream, so the measured sequence is
     // warmup-count-invariant either way.
+    obs::metrics().samples_total.inc(n);
     return executor_.measure(chain_, variants_[index], n, stream(index),
                              warmup_);
+}
+
+void RealSampleSource::skip(std::size_t index, std::size_t n) {
+    // The real chains consume a fixed number of uniform draws per run (two
+    // random matrices per task iteration, one generator step per element —
+    // see workloads::stream_draws_per_run), so the fast-forward discards
+    // exactly that many raw draws instead of re-running the workload. Warmup
+    // runs live on a hoisted child stream and never touch this one.
+    const std::size_t per_run = workloads::stream_draws_per_run(chain_);
+    stats::Rng& rng = stream(index);
+    for (std::size_t i = 0; i < n * per_run; ++i) (void)rng.bits();
 }
 
 MeasurementSet measure_all(SampleSource& source, std::size_t n) {
@@ -84,11 +111,12 @@ MeasurementSet measure_all(SampleSource& source, std::size_t n) {
     obs::Span span("measure_all", "core");
     span.arg("algorithms", static_cast<std::uint64_t>(source.count()))
         .arg("n", static_cast<std::uint64_t>(n));
+    // relperf_samples_total is counted by the sources' leaf draw() calls,
+    // not here: a caching source that serves stored values must not count.
     MeasurementSet set;
     for (std::size_t i = 0; i < source.count(); ++i) {
         set.add(source.name(i), source.draw(i, n));
     }
-    obs::metrics().samples_total.inc(source.count() * n);
     return set;
 }
 
@@ -132,6 +160,12 @@ EngineResult MeasurementEngine::run(SampleSource& source,
     out.fixed_n_samples = count * adaptive_.max_n;
     obs::metrics().samples_fixed_n_total.inc(out.fixed_n_samples);
     out.measurements = measure_all(source, adaptive_.min_n);
+    // Reserve the full budget up front: the per-round extends then append
+    // into preallocated storage instead of reallocating every few rounds
+    // (quadratic copying across a long adaptive run).
+    for (std::size_t i = 0; i < count; ++i) {
+        out.measurements.reserve_samples(i, adaptive_.max_n);
+    }
     out.samples_per_alg.assign(count, adaptive_.min_n);
     out.rounds = 1;
 
@@ -191,16 +225,13 @@ EngineResult MeasurementEngine::run(SampleSource& source,
             }
             break;
         }
-        std::size_t extended_samples = 0;
         for (const std::size_t i : extend) {
             const std::size_t n =
                 std::min(adaptive_.batch, adaptive_.max_n - out.samples_per_alg[i]);
             const std::vector<double> fresh = source.draw(i, n);
             out.measurements.extend(i, fresh);
             out.samples_per_alg[i] += fresh.size();
-            extended_samples += fresh.size();
         }
-        obs::metrics().samples_total.inc(extended_samples);
         ++out.rounds;
     }
 

@@ -87,6 +87,17 @@ public:
     /// The next `n` samples of algorithm `index` from its stream.
     [[nodiscard]] virtual std::vector<double> draw(std::size_t index,
                                                    std::size_t n) = 0;
+
+    /// Advances algorithm `index`'s stream past its next `n` samples without
+    /// keeping the values — the cache's prefix-extension fast-forward. The
+    /// default draws and discards, which is correct for any source but pays
+    /// the full measurement cost (and counts the draws like measurements);
+    /// the executor-backed sources override it with a cheap replay that
+    /// measures nothing and counts nothing, leaving the stream bit-identical
+    /// to a real draw.
+    virtual void skip(std::size_t index, std::size_t n) {
+        if (n > 0) (void)draw(index, n);
+    }
 };
 
 /// Opens the measurement stream of the algorithm at (local) position i.
@@ -127,6 +138,7 @@ public:
 
     [[nodiscard]] std::vector<double> draw(std::size_t index,
                                            std::size_t n) override;
+    void skip(std::size_t index, std::size_t n) override;
 
 private:
     const sim::SimulatedExecutor& executor_;
@@ -146,6 +158,7 @@ public:
 
     [[nodiscard]] std::vector<double> draw(std::size_t index,
                                            std::size_t n) override;
+    void skip(std::size_t index, std::size_t n) override;
 
 private:
     const sim::RealExecutor& executor_;

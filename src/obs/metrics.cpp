@@ -230,6 +230,16 @@ const Metrics& metrics() {
             "relperf_stopset_broadcast_total",
             "Global stop-set broadcasts to shards (shard count per "
             "coordination round)."),
+        registry().counter("relperf_cache_hits_total",
+                           "Result-cache exact hits (plan hash matched)."),
+        registry().counter("relperf_cache_misses_total",
+                           "Result-cache lookups that found no usable entry."),
+        registry().counter(
+            "relperf_cache_extensions_total",
+            "Result-cache prefix extensions (smaller-budget entry reused)."),
+        registry().counter(
+            "relperf_cache_extension_samples_saved_total",
+            "Samples served from cached entries instead of the executor."),
         registry().histogram(
             "relperf_shard_seconds", "Wall seconds spent measuring a shard.",
             {0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0}),

@@ -143,6 +143,12 @@ struct Metrics {
     Counter& shard_merges_total;     ///< merge_shards calls
     Counter& coordination_rounds;    ///< coordinator round-loop iterations
     Counter& stopset_broadcast_total; ///< per-shard stop-set broadcasts
+    Counter& cache_hits_total;       ///< result-cache exact hits
+    Counter& cache_misses_total;     ///< result-cache misses
+    Counter& cache_extensions_total; ///< result-cache prefix extensions
+    /// Samples served from cached entries instead of the executor (the
+    /// measurement cost a prefix extension or exact hit avoided).
+    Counter& cache_extension_samples_saved_total;
     Histogram& shard_seconds;        ///< wall seconds per shard
 };
 

@@ -47,6 +47,16 @@ double run_task(const TaskSpec& spec, double carry, stats::Rng& rng) {
     return carry;
 }
 
+std::size_t stream_draws_per_run(const TaskChain& chain) {
+    std::size_t draws = 0;
+    for (const TaskSpec& spec : chain.tasks) {
+        // Both kinds draw two size x size random matrices per iteration and
+        // nothing else; solves/products consume no randomness.
+        draws += spec.iters * 2 * spec.size * spec.size;
+    }
+    return draws;
+}
+
 double run_chain(const TaskChain& chain, stats::Rng& rng) {
     RELPERF_REQUIRE(!chain.tasks.empty(), "run_chain: empty chain");
     // Select the chain's backend for the whole run (empty = inherit).

@@ -38,4 +38,14 @@ namespace relperf::workloads {
 /// the final carried scalar. This is Procedure 5 without device splits.
 [[nodiscard]] double run_chain(const TaskChain& chain, stats::Rng& rng);
 
+/// Number of raw generator draws one run of `chain` consumes from its
+/// measurement stream: every task iteration draws two random size x size
+/// matrices (run_rls_task / run_gemm_task), one uniform draw per element and
+/// one generator step per uniform draw. This is the real executor's
+/// fast-forward contract — discarding stream_draws_per_run(chain) raw draws
+/// advances a measurement stream bit-identically to one run — and it is
+/// covered by a test so the workloads cannot silently change their
+/// consumption.
+[[nodiscard]] std::size_t stream_draws_per_run(const TaskChain& chain);
+
 } // namespace relperf::workloads

@@ -46,6 +46,32 @@ TEST(MeasurementSet, ExtendAppendsSamples) {
     EXPECT_EQ(set.index_of("b"), 1u);
 }
 
+TEST(MeasurementSet, ReserveSamplesPreventsReallocationAcrossExtends) {
+    // Callers that know the final budget (the adaptive cap, a cache
+    // extension's target N) reserve once up front; every extend up to that
+    // capacity must then append in place. The data pointer doubles as the
+    // reallocation canary.
+    MeasurementSet set;
+    set.add("a", {1.0, 2.0});
+    set.add("b", {9.0});
+    set.reserve_samples(0, 64);
+    const double* const data = set.samples(0).data();
+    std::vector<double> batch(6, 0.5);
+    while (set.samples(0).size() + batch.size() <= 64) {
+        set.extend(0, batch);
+        EXPECT_EQ(set.samples(0).data(), data)
+            << "reallocated at " << set.samples(0).size() << " samples";
+    }
+    EXPECT_GT(set.samples(0).size(), 56u);
+    // Values are untouched by the reservation and the extends.
+    EXPECT_EQ(set.samples(0)[0], 1.0);
+    EXPECT_EQ(set.samples(0)[1], 2.0);
+    EXPECT_EQ(set.samples(0)[2], 0.5);
+    EXPECT_EQ(set.samples(1).size(), 1u);
+    // Out-of-range reservations validate like extend.
+    EXPECT_THROW(set.reserve_samples(5, 8), relperf::InvalidArgument);
+}
+
 TEST(MeasurementSet, ExtendValidatesLikeAdd) {
     MeasurementSet set;
     set.add("a", {1.0});

@@ -1,0 +1,22 @@
+// Violations: a directory iteration feeding an output sink directly, and a
+// directory collection that is never explicitly sorted.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+void list_entries(const std::string& dir) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        std::printf("%s\n", entry.path().c_str());
+    }
+}
+
+std::vector<std::string> collect_entries(const std::string& dir) {
+    std::vector<std::string> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        paths.push_back(entry.path().string());
+    }
+    return paths;
+}

@@ -1,0 +1,30 @@
+// Clean: directory-iteration results are collected and explicitly sorted
+// before anything consumes them, or never leave the loop at all.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> sorted_entries(const std::string& dir) {
+    std::vector<std::string> paths;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& p : paths) {
+        std::printf("%s\n", p.c_str());
+    }
+    return paths;
+}
+
+std::size_t count_entries(const std::string& dir) {
+    std::size_t n = 0;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        (void)entry;
+        ++n;
+    }
+    return n;
+}

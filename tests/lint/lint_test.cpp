@@ -62,6 +62,7 @@ TEST(LintRules, TableHasUniqueIdsAndDocumentedSeverities) {
     EXPECT_EQ(ids.count("banned-random"), 1u);
     EXPECT_EQ(ids.count("banned-clock"), 1u);
     EXPECT_EQ(ids.count("unordered-output"), 1u);
+    EXPECT_EQ(ids.count("unsorted-dir-iteration"), 1u);
     EXPECT_EQ(ids.count("float-precision"), 1u);
     EXPECT_EQ(ids.count("omp-guard"), 1u);
     EXPECT_EQ(ids.count("spec-hash-field"), 1u);
@@ -111,6 +112,21 @@ TEST(UnorderedOutput, FixtureViolationsExactLines) {
 
 TEST(UnorderedOutput, CleanFixtureIsQuiet) {
     EXPECT_TRUE(lint_fixture("unordered_output_clean.cpp").empty());
+}
+
+TEST(DirIteration, FixtureViolationsExactLines) {
+    const std::vector<lint::Diagnostic> diags =
+        lint_fixture("dir_iteration_bad.cpp");
+    expect_exact(diags,
+                 {{11, "unsorted-dir-iteration", "directory_iterator"},
+                  {18, "unsorted-dir-iteration", "paths"}});
+    for (const lint::Diagnostic& d : diags) {
+        EXPECT_EQ(d.severity, lint::Severity::Warning) << d.str();
+    }
+}
+
+TEST(DirIteration, CollectThenSortIdiomIsQuiet) {
+    EXPECT_TRUE(lint_fixture("dir_iteration_clean.cpp").empty());
 }
 
 TEST(FloatPrecision, FixtureViolationsExactLines) {
@@ -166,7 +182,7 @@ TEST(Allowlist, SuppressesByFileSuffixAndSubjectWithoutStaleEntries) {
             << d.str();
     }
     // Everything else still fires, and no entry is stale.
-    EXPECT_EQ(result.diagnostics.size(), 14u) << [&] {
+    EXPECT_EQ(result.diagnostics.size(), 16u) << [&] {
         std::ostringstream out;
         for (const lint::Diagnostic& d : result.diagnostics)
             out << d.str() << '\n';
@@ -201,6 +217,19 @@ TEST(Allowlist, StaleEntryIsReportedWithItsLine) {
     EXPECT_EQ(result.diagnostics[0].file, "inline");
     EXPECT_EQ(result.diagnostics[0].line, 1u);
     EXPECT_EQ(result.diagnostics[0].subject, "never_matches.cpp");
+}
+
+// Grammar check of the committed allowlist itself: every entry must parse
+// (known rule id, exactly one pattern) and carry its justification — a
+// malformed line throws here rather than silently suppressing nothing.
+TEST(Allowlist, CommittedAllowlistObeysTheGrammar) {
+    const lint::Allowlist allow =
+        lint::Allowlist::load(source_root() + "/ci/lint_allow.txt");
+    EXPECT_GT(allow.size(), 0u);
+    for (const lint::AllowEntry& entry : allow.unused()) {
+        EXPECT_FALSE(entry.justification.empty())
+            << entry.rule << " " << entry.pattern;
+    }
 }
 
 TEST(Allowlist, MissingLintPathFailsLoudly) {

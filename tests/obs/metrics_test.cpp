@@ -34,7 +34,10 @@ protected:
 
 /// Deterministic engine input: algorithm i draws values near (i+1) with a
 /// small per-sample wobble — well-separated distributions, so membership
-/// stabilizes and the engine's early stopping exercises for real.
+/// stabilizes and the engine's early stopping exercises for real. Counts its
+/// draws into relperf_samples_total like the executor-backed leaf sources
+/// do: the leaves own the "actually drawn" accounting (so cache replays can
+/// report zero), and this source stands in for a leaf.
 class ScriptedSource final : public core::SampleSource {
 public:
     explicit ScriptedSource(std::size_t count) : drawn_(count, 0) {}
@@ -53,6 +56,7 @@ public:
                           (1.0 + 0.001 * static_cast<double>(global % 7)));
         }
         drawn_[index] += n;
+        obs::metrics().samples_total.inc(n);
         return out;
     }
 

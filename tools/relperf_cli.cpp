@@ -38,6 +38,7 @@
 //!   algDDA,0,0.0406
 //!   ...
 
+#include "cache/cached_campaign.hpp"
 #include "campaign/campaign.hpp"
 #include "core/cluster_diff.hpp"
 #include "core/io.hpp"
@@ -154,7 +155,8 @@ void apply_adaptive_overrides(const support::CliParser& cli,
 /// counters from the engine; --merge feeds them at shard ingest.
 void report_adaptive(const campaign::CampaignSpec& spec,
                      const core::MeasurementSet& measurements,
-                     const std::optional<std::string>& samples_csv) {
+                     const std::optional<std::string>& samples_csv,
+                     std::size_t cache_saved = 0) {
     if (samples_csv) {
         support::CsvWriter csv(*samples_csv, {"algorithm", "samples"});
         for (std::size_t i = 0; i < measurements.size(); ++i) {
@@ -164,12 +166,35 @@ void report_adaptive(const campaign::CampaignSpec& spec,
         std::printf("per-algorithm sample counts written to %s\n",
                     samples_csv->c_str());
     }
-    if (!spec.adaptive()) return;
+    if (spec.adaptive()) {
+        const obs::Metrics& m = obs::metrics();
+        std::printf("adaptive: %s\n",
+                    core::render_savings(m.samples_total.value(),
+                                         m.samples_fixed_n_total.value())
+                        .c_str());
+    }
+    // Measurement cost the result cache absorbed on top of (and
+    // independently of) the adaptive savings: samples_total above already
+    // counts only the fresh executor draws.
+    if (cache_saved > 0) {
+        std::printf("saved via cache: %zu samples\n", cache_saved);
+    }
+}
+
+/// --cache-stats: the on-disk state plus this process's lookup counters.
+void print_cache_stats(const cache::ResultCache& result_cache) {
+    const cache::CacheStats stats = result_cache.stats();
     const obs::Metrics& m = obs::metrics();
-    std::printf("adaptive: %s\n",
-                core::render_savings(m.samples_total.value(),
-                                     m.samples_fixed_n_total.value())
-                    .c_str());
+    std::printf("cache stats: dir=%s entries=%zu bytes=%zu\n",
+                result_cache.config().dir.c_str(), stats.entries, stats.bytes);
+    std::printf(
+        "cache stats: hits=%llu misses=%llu extensions=%llu "
+        "samples_saved=%llu\n",
+        static_cast<unsigned long long>(m.cache_hits_total.value()),
+        static_cast<unsigned long long>(m.cache_misses_total.value()),
+        static_cast<unsigned long long>(m.cache_extensions_total.value()),
+        static_cast<unsigned long long>(
+            m.cache_extension_samples_saved_total.value()));
 }
 
 /// Renders the cluster + final tables and optionally writes the clustering
@@ -295,7 +320,8 @@ int campaign_merge(const campaign::CampaignSpec& spec, const std::string& patter
 }
 
 int campaign_run(const campaign::CampaignSpec& spec, std::size_t shard_count,
-                 std::size_t workers,
+                 std::size_t workers, const cache::CacheConfig& cache_cfg,
+                 bool cache_stats,
                  const std::optional<std::string>& out_path,
                  const std::optional<std::string>& merged_csv,
                  const std::optional<std::string>& samples_csv,
@@ -313,44 +339,61 @@ int campaign_run(const campaign::CampaignSpec& spec, std::size_t shard_count,
                     spec.name.c_str(), shard_count,
                     spec.adaptive_confidence != 0.0 ? "confidence"
                                                     : "stability");
-        const campaign::CoordinatedCampaignResult coord =
+    } else {
+        std::printf("campaign '%s': %zu shards, %s workers\n\n",
+                    spec.name.c_str(), shard_count,
+                    workers == 0 ? "all" : std::to_string(workers).c_str());
+    }
+
+    core::AnalysisResult result;
+    std::vector<std::size_t> stopset_rounds;
+    std::size_t rounds = 0;
+    std::size_t cache_saved = 0;
+    if (cache_cfg.enabled()) {
+        cache::ResultCache result_cache(cache_cfg);
+        cache::CachedRunResult run = cache::run_campaign_cached(
+            spec, result_cache, shard_count, workers);
+        std::printf("cache: %s%s\n", cache::to_string(run.cache),
+                    run.bypassed ? " (shard-local adaptive stopping with "
+                                   "K > 1 shards is not cacheable)"
+                                 : "");
+        result = std::move(run.analysis);
+        stopset_rounds = std::move(run.stopset_rounds);
+        rounds = run.rounds;
+        cache_saved = run.samples_from_cache;
+        if (cache_stats) print_cache_stats(result_cache);
+    } else if (spec.adaptive_coordinated) {
+        campaign::CoordinatedCampaignResult coord =
             campaign::run_coordinated_campaign(spec, shard_count);
+        result = std::move(coord.analysis);
+        stopset_rounds = std::move(coord.stopset_rounds);
+        rounds = coord.rounds;
+    } else {
+        result = campaign::run_campaign(spec, shard_count, workers);
+    }
+
+    if (spec.adaptive_coordinated) {
         std::printf("coordinator: %zu rounds, final stop-set %zu/%zu "
                     "algorithms\n",
-                    coord.rounds,
-                    coord.stopset_rounds.empty() ? 0
-                                                 : coord.stopset_rounds.back(),
-                    coord.analysis.measurements.size());
+                    rounds,
+                    stopset_rounds.empty() ? 0 : stopset_rounds.back(),
+                    result.measurements.size());
         if (stopset_csv) {
             support::CsvWriter csv(*stopset_csv, {"round", "stopped_total"});
-            for (std::size_t i = 0; i < coord.stopset_rounds.size(); ++i) {
+            for (std::size_t i = 0; i < stopset_rounds.size(); ++i) {
                 csv.add_row({std::to_string(i + 1),
-                             std::to_string(coord.stopset_rounds[i])});
+                             std::to_string(stopset_rounds[i])});
             }
             std::printf("per-round stop-set written to %s\n",
                         stopset_csv->c_str());
         }
-        if (merged_csv) {
-            core::write_measurements_csv(coord.analysis.measurements,
-                                         *merged_csv);
-            std::printf("merged measurements written to %s\n\n",
-                        merged_csv->c_str());
-        }
-        report_adaptive(spec, coord.analysis.measurements, samples_csv);
-        report_analysis(coord.analysis, out_path);
-        return 0;
     }
-    std::printf("campaign '%s': %zu shards, %s workers\n\n", spec.name.c_str(),
-                shard_count,
-                workers == 0 ? "all" : std::to_string(workers).c_str());
-    const core::AnalysisResult result =
-        campaign::run_campaign(spec, shard_count, workers);
     if (merged_csv) {
         core::write_measurements_csv(result.measurements, *merged_csv);
         std::printf("merged measurements written to %s\n\n",
                     merged_csv->c_str());
     }
-    report_adaptive(spec, result.measurements, samples_csv);
+    report_adaptive(spec, result.measurements, samples_csv, cache_saved);
     report_analysis(result, out_path);
     return 0;
 }
@@ -477,6 +520,20 @@ support::CliParser build_cli() {
                                   "(--coordinated --run)", "");
     cli.add_option("samples-csv", "write the per-algorithm sample counts CSV "
                                   "here (campaign modes)", "");
+    cli.add_option("cache-dir", "campaign --run: persistent result cache "
+                                "directory — an exact plan-hash hit skips "
+                                "measurement entirely, a smaller-budget entry "
+                                "of the same plan is extended by measuring "
+                                "only the delta", "");
+    cli.add_option("cache-max-entries", "evict least-recently-used cache "
+                                        "entries beyond this count "
+                                        "(0 = unlimited)", "0");
+    cli.add_option("cache-max-bytes", "evict least-recently-used cache "
+                                      "entries beyond this total size "
+                                      "(0 = unlimited)", "0");
+    cli.add_flag("cache-stats", "print the result cache's entry count, size "
+                                "and this run's hit/miss counters (alone "
+                                "with --cache-dir, or after --run)");
     cli.add_option("trace", "write a Chrome trace-event JSON of this run "
                             "here (open in chrome://tracing or "
                             "ui.perfetto.dev)", "");
@@ -508,6 +565,18 @@ int run_modes(const support::CliParser& cli) {
                              variants_override);
     }
 
+    cache::CacheConfig cache_cfg;
+    cache_cfg.dir = cli.value("cache-dir");
+    cache_cfg.max_entries =
+        str::parse_size(cli.value("cache-max-entries"), "--cache-max-entries");
+    cache_cfg.max_bytes =
+        str::parse_size(cli.value("cache-max-bytes"), "--cache-max-bytes");
+    const bool cache_stats = cli.flag("cache-stats");
+    if (cache_stats && !cache_cfg.enabled()) {
+        std::fputs("error: --cache-stats needs --cache-dir\n", stderr);
+        return 2;
+    }
+
     const auto input = cli.value_optional("input");
     const auto campaign_path = cli.value_optional("campaign");
     if (input && campaign_path) {
@@ -518,6 +587,12 @@ int run_modes(const support::CliParser& cli) {
     if (input && (backend_override || variants_override)) {
         std::fputs("error: --backend/--variants only apply to campaign modes "
                    "(--input CSVs were measured elsewhere)\n",
+                   stderr);
+        return 2;
+    }
+    if (input && cache_cfg.enabled()) {
+        std::fputs("error: --cache-dir/--cache-stats only apply to campaign "
+                   "--run (the cache is keyed by the campaign plan hash)\n",
                    stderr);
         return 2;
     }
@@ -588,6 +663,12 @@ int run_modes(const support::CliParser& cli) {
                        stderr);
             return 2;
         }
+        if (cache_cfg.enabled() && !cli.flag("run")) {
+            std::fputs("error: --cache-dir only applies to --run (a shard or "
+                       "a merge is a partial plan the cache cannot key)\n",
+                       stderr);
+            return 2;
+        }
         if (shard_ref) {
             return campaign_shard(spec, *shard_ref, cli.value_optional("out"),
                                   cli.value_optional("samples-csv"));
@@ -601,10 +682,18 @@ int run_modes(const support::CliParser& cli) {
         return campaign_run(spec,
                             str::parse_size(cli.value("shards"), "--shards"),
                             str::parse_size(cli.value("workers"), "--workers"),
+                            cache_cfg, cache_stats,
                             cli.value_optional("out"),
                             cli.value_optional("merged-csv"),
                             cli.value_optional("samples-csv"),
                             cli.value_optional("stopset-csv"));
+    }
+
+    // Standalone `--cache-dir <d> --cache-stats`: inspect the cache and exit.
+    if (!input && cache_stats) {
+        const cache::ResultCache result_cache(cache_cfg);
+        print_cache_stats(result_cache);
+        return 0;
     }
 
     if (!input) {

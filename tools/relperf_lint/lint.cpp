@@ -43,6 +43,9 @@ const std::vector<RuleInfo>& rules() {
         {"spec-hash-field", Severity::Error,
          "spec key parsed in CampaignSpec::parse() but absent from "
          "CampaignSpec::hash(); two plans could share a hash"},
+        {"unsorted-dir-iteration", Severity::Warning,
+         "directory-iteration results feed an output sink (or are collected "
+         "but never sorted); filesystem enumeration order is unspecified"},
         {"allowlist-unused", Severity::Warning,
          "allowlist entry suppressed nothing in this run; remove the stale "
          "suppression"},
@@ -525,6 +528,103 @@ void check_unordered_output(const std::vector<Token>& toks,
     }
 }
 
+void check_unsorted_dir_iteration(const std::vector<Token>& toks,
+                                  const std::string& path,
+                                  std::vector<Diagnostic>& diags) {
+    static const std::set<std::string> iterators = {
+        "directory_iterator", "recursive_directory_iterator"};
+    static const std::set<std::string> sinks = {
+        "add_row", "format",  "printf", "fprintf",   "snprintf",
+        "write",   "write_row", "write_csv", "hash", "fnv1a",  "update"};
+    static const std::set<std::string> collectors = {
+        "push_back", "emplace_back", "insert", "emplace"};
+
+    // Names that appear as an argument of an explicit sort call anywhere in
+    // the file — the collect-then-sort idiom this rule demands.
+    std::set<std::string> sorted_names;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Ident ||
+            (toks[i].text != "sort" && toks[i].text != "stable_sort") ||
+            !is_punct(toks, i + 1, "(")) {
+            continue;
+        }
+        const std::size_t close = match_forward(toks, i + 1, "(", ")");
+        for (std::size_t j = i + 2; j < close; ++j) {
+            if (toks[j].kind == TokenKind::Ident) {
+                sorted_names.insert(toks[j].text);
+            }
+        }
+    }
+
+    // Range-for loops whose range expression is a directory iterator.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!is_ident(toks, i, "for") || !is_punct(toks, i + 1, "(")) continue;
+        const std::size_t close = match_forward(toks, i + 1, "(", ")");
+        std::size_t colon = 0;
+        std::size_t depth = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+            if (is_punct(toks, j, "(")) ++depth;
+            if (is_punct(toks, j, ")")) --depth;
+            if (depth == 1 && is_punct(toks, j, ":")) {
+                colon = j;
+                break;
+            }
+        }
+        if (colon == 0) continue;
+        std::string iterator;
+        for (std::size_t j = colon + 1; j + 1 < close; ++j) {
+            if (toks[j].kind == TokenKind::Ident &&
+                iterators.count(toks[j].text)) {
+                iterator = toks[j].text;
+                break;
+            }
+        }
+        if (iterator.empty()) continue;
+        // Loop body: braced block, or a single statement up to ';'.
+        std::size_t body_begin = close;
+        std::size_t body_end;
+        if (is_punct(toks, body_begin, "{")) {
+            body_end = match_forward(toks, body_begin, "{", "}");
+        } else {
+            body_end = body_begin;
+            while (body_end < toks.size() && !is_punct(toks, body_end, ";")) {
+                ++body_end;
+            }
+        }
+        bool has_sink = false;
+        std::set<std::string> collected;
+        for (std::size_t j = body_begin; j < body_end; ++j) {
+            if (is_punct(toks, j, "<<") ||
+                (toks[j].kind == TokenKind::Ident &&
+                 sinks.count(toks[j].text) && is_punct(toks, j + 1, "("))) {
+                has_sink = true;
+                break;
+            }
+            if (toks[j].kind == TokenKind::Ident && j + 2 < body_end &&
+                is_punct(toks, j + 1, ".") &&
+                toks[j + 2].kind == TokenKind::Ident &&
+                collectors.count(toks[j + 2].text) &&
+                is_punct(toks, j + 3, "(")) {
+                collected.insert(toks[j].text);
+            }
+        }
+        if (has_sink) {
+            add(diags, path, toks[i].line, "unsorted-dir-iteration", iterator,
+                "directory iteration feeds an output sink; enumeration order "
+                "is unspecified — collect the entries and sort them first");
+            continue;
+        }
+        for (const std::string& name : collected) {
+            if (!sorted_names.count(name)) {
+                add(diags, path, toks[i].line, "unsorted-dir-iteration", name,
+                    "directory iteration collects into '" + name +
+                        "' which is never explicitly sorted; enumeration "
+                        "order is unspecified — sort before consuming it");
+            }
+        }
+    }
+}
+
 void check_float_precision(const std::vector<Token>& toks,
                            const std::string& path,
                            std::vector<Diagnostic>& diags) {
@@ -782,6 +882,7 @@ std::vector<Diagnostic> lint_source(const std::string& path,
     check_banned_random(lexed.tokens, path, diags);
     check_banned_clock(lexed.tokens, path, diags);
     check_unordered_output(lexed.tokens, path, diags);
+    check_unsorted_dir_iteration(lexed.tokens, path, diags);
     check_float_precision(lexed.tokens, path, diags);
     check_omp_guard(lexed, path, diags);
     check_spec_hash_fields(lexed.tokens, path, diags);

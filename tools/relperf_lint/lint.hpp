@@ -25,6 +25,15 @@
 //!                     implementation-defined, so anything it feeds into a
 //!                     CSV/manifest/hash is nondeterministic across
 //!                     stdlibs/runs.
+//!   unsorted-dir-iteration
+//!                     range-for over a std::filesystem::directory_iterator /
+//!                     recursive_directory_iterator whose body feeds an
+//!                     output sink directly, or collects entries into a
+//!                     container that is never passed through an explicit
+//!                     sort()/stable_sort(). Filesystem enumeration order is
+//!                     unspecified, so anything derived from it (cache
+//!                     indices, eviction order, CLI listings) must sort
+//!                     first — the collect-then-sort idiom is clean.
 //!   float-precision   a %e/%f/%g/%a conversion without an explicit
 //!                     precision in a format()/printf-family call. Default
 //!                     precision (6) silently truncates doubles, so written
